@@ -1,0 +1,63 @@
+"""Ablation bench: tau-capped streaming span test vs full Horton MCB.
+
+The VPT hot path never needs the full minimum cycle basis — only whether
+cycles of length <= tau span the cycle space.  This bench quantifies the
+speedup of the capped early-exit test over running Algorithm 1 outright,
+and cross-checks that both give identical answers on real neighbourhood
+subgraphs.
+"""
+
+import random
+import time
+
+from repro.core.vpt import deletion_radius
+from repro.cycles.horton import (
+    ShortCycleSpan,
+    irreducible_cycle_bounds,
+)
+from repro.network.deployment import Rectangle, build_network
+
+
+def _neighbourhood_samples(tau=4, count=20):
+    net = build_network(260, Rectangle(0, 0, 6.5, 6.5), 1.0, 1.0, seed=31)
+    k = deletion_radius(tau)
+    rng = random.Random(0)
+    internal = sorted(net.internal_nodes)
+    samples = []
+    for v in rng.sample(internal, min(count, len(internal))):
+        gamma = net.graph.punctured_neighborhood_graph(v, k)
+        if len(gamma) >= 3:
+            samples.append(gamma)
+    return samples
+
+
+def test_ablation_horton_capped_vs_full(benchmark):
+    tau = 4
+    samples = _neighbourhood_samples(tau=tau)
+
+    def capped_all():
+        return [ShortCycleSpan(g, tau).spans_cycle_space() for g in samples]
+
+    capped = benchmark.pedantic(capped_all, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    full = [
+        irreducible_cycle_bounds(g).maximum <= tau if len(g) else True
+        for g in samples
+    ]
+    full_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    capped_again = capped_all()
+    capped_time = time.perf_counter() - start
+
+    print()
+    print("Ablation (tau-capped span test vs full Algorithm-1 MCB):")
+    print(f"  neighbourhoods: {len(samples)} (tau={tau})")
+    print(f"  capped streaming test: {capped_time * 1000:.0f} ms")
+    print(f"  full Horton MCB      : {full_time * 1000:.0f} ms")
+    if capped_time > 0:
+        print(f"  speedup              : {full_time / capped_time:.1f}x")
+
+    assert capped == full == capped_again
+    assert capped_time <= full_time

@@ -1,0 +1,29 @@
+"""Figure 5 bench: the RSSI CDF of the (synthetic) GreenOrbs trace.
+
+Paper's Figure 5: the empirical CDF of per-edge average RSSI, with the
+threshold chosen near -85 dBm so that ~80% of undirected edges survive.
+Shape checks: monotone CDF, threshold close to -85 dBm, kept fraction 80%.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_fig5_rssi_cdf
+
+
+def test_fig5_rssi_cdf(benchmark, greenorbs_trace):
+    result = benchmark.pedantic(
+        run_fig5_rssi_cdf,
+        kwargs=dict(trace=greenorbs_trace),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+    # CDF (fraction >= threshold) grows as the threshold loosens
+    assert result.fraction_at_least == sorted(result.fraction_at_least)
+    # all edges pass at -95 dBm, almost none at -45 dBm
+    assert result.fraction_at_least[0] < 0.05
+    assert result.fraction_at_least[-1] > 0.95
+    # the paper's operating point
+    assert result.kept_fraction == pytest.approx(0.8, abs=0.03)
+    assert -90.0 < result.chosen_threshold_dbm < -78.0

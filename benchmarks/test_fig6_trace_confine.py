@@ -1,0 +1,28 @@
+"""Figure 6 bench: inner nodes retained vs confine size on the trace.
+
+Paper's Figure 6: on the GreenOrbs topology the retained inner-node count
+drops sharply between tau = 3 and tau = 5 — long trace links let larger
+confine sizes shortcut — then flattens.  Shape checks: monotone decrease
+and a pronounced 3 -> 5 drop.
+"""
+
+from repro.analysis.experiments import run_trace_confine
+
+
+def test_fig6_trace_confine(benchmark, greenorbs_trace):
+    result = benchmark.pedantic(
+        run_trace_confine,
+        kwargs=dict(taus=(3, 4, 5, 6), trace=greenorbs_trace, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_table("6"))
+    left = result.inner_left_by_tau
+    # monotone non-increasing in tau
+    for a, b in zip(result.taus, result.taus[1:]):
+        assert left[b] <= left[a]
+    # the paper's signature: sharp drop from tau=3 to tau=5
+    assert left[5] <= 0.6 * max(left[3], 1)
+    # only a handful of inner nodes remain at tau=6 (paper: ~5 of ~270)
+    assert left[6] <= 0.15 * result.total_nodes

@@ -1,0 +1,29 @@
+"""Figure 7 bench: trace-topology snapshots for tau = 3..7.
+
+Paper's Figure 7 (b-f): DCC leaves 17, 8, 6, 5, 4 inner nodes for
+tau = 3..7 on the 296-node GreenOrbs topology with 26 boundary nodes.
+Absolute counts depend on the (synthesised) trace; the shape — a strictly
+decreasing, small tail after tau >= 4 — is what we reproduce, along with
+the paper's qualitative claim that DCC tolerates the non-UDG irregularity.
+"""
+
+from repro.analysis.experiments import run_trace_confine
+
+
+def test_fig7_trace_snapshots(benchmark, greenorbs_trace):
+    result = benchmark.pedantic(
+        run_trace_confine,
+        kwargs=dict(taus=(3, 4, 5, 6, 7), trace=greenorbs_trace, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_table("7"))
+    left = [result.inner_left_by_tau[tau] for tau in result.taus]
+    # non-increasing sequence of retained inner nodes
+    for a, b in zip(left, left[1:]):
+        assert b <= a
+    # tau >= 4 keeps only a small skeleton of inner nodes
+    inner_total = result.total_nodes - result.boundary_nodes
+    assert result.inner_left_by_tau[4] <= 0.25 * inner_total
+    assert result.inner_left_by_tau[7] <= result.inner_left_by_tau[4]

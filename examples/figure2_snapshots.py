@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Recreate Figure 2's visual story as SVG snapshots.
+
+Deploys a network, runs DCC for tau = 3..6, and writes one SVG per confine
+size showing the active coverage set (blue), the sleeping nodes (faded)
+and the boundary squares — the same panels as the paper's Figure 2 (b-e).
+
+Run:  python examples/figure2_snapshots.py
+Output: figure2_original.svg, figure2_tau3.svg ... figure2_tau6.svg
+"""
+
+import random
+
+from repro import dcc_schedule, network_for_average_degree, outer_boundary_cycle
+from repro.viz import render_network, render_schedule
+
+
+def main() -> None:
+    network = network_for_average_degree(300, 22.0, rc=1.0, rs=1.0, seed=7)
+    boundary = outer_boundary_cycle(network)
+    protected = set(network.boundary_nodes) | set(boundary)
+    print(
+        f"network: {len(network.graph)} nodes, boundary+band {len(protected)}"
+    )
+
+    canvas = render_network(
+        network.graph,
+        network.positions,
+        protected,
+        title=f"original network ({len(network.graph)} nodes)",
+    )
+    canvas.save("figure2_original.svg")
+    print("wrote figure2_original.svg")
+
+    for tau in (3, 4, 5, 6):
+        result = dcc_schedule(
+            network.graph, protected, tau, rng=random.Random(tau)
+        )
+        canvas = render_schedule(
+            network.graph,
+            result.active,
+            network.positions,
+            protected,
+            title=f"tau={tau}: {result.num_active} active / "
+            f"{result.num_removed} asleep",
+        )
+        path = f"figure2_tau{tau}.svg"
+        canvas.save(path)
+        print(f"wrote {path} ({result.num_active} active)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Forest ecological monitoring on a GreenOrbs-style RSSI trace.
+
+Reproduces the paper's Section VI-B study: build a network topology from
+accumulated RSSI records (synthesised here — see DESIGN.md), inspect the
+RSSI CDF and the ~80%-retention threshold, then run DCC at increasing
+confine sizes and watch the retained inner-node count collapse: the trace
+topology's long links reward larger cycles.
+
+DCC uses only the connectivity graph; the irregular, decidedly non-UDG
+radio behaviour of the forest never has to be modelled.
+
+Run:  python examples/forest_monitoring_trace.py
+"""
+
+import random
+
+from repro import dcc_schedule, generate_greenorbs_trace, outer_boundary_cycle
+from repro.traces.rssi import rssi_cdf
+
+
+def main() -> None:
+    print("synthesising the GreenOrbs-style trace (two simulated days)...")
+    trace = generate_greenorbs_trace(seed=1)
+    values = trace.trace.edge_rssi_values()
+    print(
+        f"accumulated {len(trace.trace.records)} RSSI records over "
+        f"{len(trace.positions)} nodes -> {len(values)} undirected links"
+    )
+
+    print("\nRSSI CDF (fraction of links at or above threshold):")
+    thresholds = [-55.0, -65.0, -75.0, -85.0, -95.0]
+    for threshold, fraction in zip(thresholds, rssi_cdf(values, thresholds)):
+        bar = "#" * int(40 * fraction)
+        print(f"  >= {threshold:6.1f} dBm  {fraction:6.1%}  {bar}")
+    print(
+        f"link threshold {trace.threshold_dbm:.1f} dBm retains ~80% of links "
+        f"-> {trace.graph.num_edges()} edges"
+    )
+
+    network = trace.as_network(rc=75.0, rs=75.0)
+    boundary = outer_boundary_cycle(network)
+    protected = set(boundary)
+    print(
+        f"\ntrace network: {len(network.graph)} nodes, average degree "
+        f"{network.graph.average_degree():.1f}, boundary ring of "
+        f"{len(boundary)} nodes"
+    )
+
+    print("\nDCC on the trace topology (inner nodes kept per confine size):")
+    for tau in (3, 4, 5, 6):
+        result = dcc_schedule(
+            network.graph, protected, tau, rng=random.Random(tau)
+        )
+        inner_left = result.num_active - len(protected)
+        bar = "#" * max(1, inner_left // 2)
+        print(f"  tau={tau}: {inner_left:4d} inner nodes  {bar}")
+
+    print(
+        "\nThe sharp drop from tau=3 to tau=5 mirrors the paper's Figure 6: "
+        "long\ntrace links give larger confine sizes many more chances to "
+        "shortcut."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Prolonging network lifetime by rotating DCC coverage shifts.
+
+The paper's energy argument, taken to its conclusion: instead of keeping
+one coverage set awake forever, recompute an energy-aware coverage set
+each shift — the scheduler puts the most-drained redundant nodes to sleep
+— and let duty circulate until the survivors can no longer satisfy the
+coverage criterion.
+
+The demo uses a triangulated mesh, where every internal node is somewhere
+redundant; deployments with structural bottleneck nodes have their
+lifetime pinned to the battery capacity by those bottlenecks regardless of
+scheduling (try it: swap in a sparse random deployment and the gain drops
+to 1.0x).
+
+Run:  python examples/lifetime_rotation.py
+"""
+
+import random
+
+from repro.core.lifetime import rotation_simulation
+from repro.network.energy import EnergyModel
+from repro.network.topologies import triangulated_grid
+
+
+def main() -> None:
+    mesh = triangulated_grid(9, 9)
+    boundary = mesh.outer_boundary
+    model = EnergyModel(battery_capacity=10.0, active_cost=1.0, sleep_cost=0.1)
+    print(
+        f"mesh: {len(mesh.graph)} nodes ({len(boundary)} mains-powered "
+        f"boundary), battery lasts {model.always_on_shifts} always-on shifts\n"
+    )
+
+    print(f"{'tau':>4} {'shifts':>7} {'gain':>6}  cause of death")
+    print("-" * 44)
+    for tau in (6, 7, 8):
+        report = rotation_simulation(
+            mesh.graph,
+            [boundary],
+            boundary,
+            tau,
+            model=model,
+            rng=random.Random(tau),
+            record_every=10**9,
+        )
+        print(
+            f"{tau:>4} {report.shifts_survived:>7} "
+            f"{report.lifetime_gain:>5.2f}x  {report.cause_of_death}"
+        )
+
+    print(
+        "\nLarger confine sizes tolerate larger temporary voids, so more "
+        "nodes can\nrest per shift and the rotation outlives the always-on "
+        "baseline by more."
+    )
+
+
+if __name__ == "__main__":
+    main()

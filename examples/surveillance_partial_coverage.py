@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Target surveillance with QoC-bounded partial coverage.
+
+The paper's motivating application: a surveillance network does not need
+every point covered at every instant — it needs a guarantee that a moving
+target cannot travel far undetected.  The maximum hole diameter bounds the
+longest straight-line escape, so the operator dials in a tolerable escape
+distance and DCC picks the largest feasible confine size, activating far
+fewer sensors than blanket coverage would.
+
+This example sweeps requirements from blanket (Dmax = 0) to lenient
+(Dmax = 3 Rc) on one deployment and reports active-node savings alongside
+the geometrically measured worst hole.
+
+Run:  python examples/surveillance_partial_coverage.py
+"""
+
+import random
+
+from repro import (
+    ConfineRequirement,
+    dcc_schedule,
+    evaluate_coverage,
+    network_for_average_degree,
+    outer_boundary_cycle,
+)
+
+
+def main() -> None:
+    network = network_for_average_degree(320, 22.0, rc=1.0, rs=0.8, seed=11)
+    boundary = outer_boundary_cycle(network)
+    protected = set(network.boundary_nodes) | set(boundary)
+    gamma = network.gamma
+    print(
+        f"network: {len(network.graph)} nodes, gamma = Rc/Rs = {gamma:.2f}, "
+        f"{len(protected)} protected boundary nodes\n"
+    )
+
+    header = (
+        f"{'escape dist':>12} {'tau':>4} {'active':>7} {'saved':>7} "
+        f"{'measured Dmax':>14} {'bound':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    baseline_active = None
+    for dmax in (0.0, 0.5, 1.0, 2.0, 3.0):
+        requirement = ConfineRequirement(
+            gamma=gamma, max_hole_diameter=dmax, rc=network.rc
+        )
+        tau = requirement.max_feasible_tau(tau_cap=9)
+        if tau is None:
+            print(f"{dmax:>12.1f}    - requirement infeasible at gamma={gamma:.2f}")
+            continue
+        result = dcc_schedule(
+            network.graph, protected, tau, rng=random.Random(int(dmax * 10))
+        )
+        if baseline_active is None:
+            baseline_active = result.num_active
+        saved = 1.0 - result.num_active / baseline_active
+        positions = [network.positions[v] for v in result.coverage_set]
+        report = evaluate_coverage(
+            positions, network.rs, network.target_area, resolution=90
+        )
+        bound = (tau - 2) * network.rc
+        print(
+            f"{dmax:>12.1f} {tau:>4} {result.num_active:>7} {saved:>6.1%} "
+            f"{report.max_hole_diameter:>14.3f} {bound:>6.1f}"
+        )
+
+    print(
+        "\nLarger tolerated escape distances let DCC use bigger confine "
+        "sizes,\nkeeping fewer sensors awake while the measured worst hole "
+        "stays within\nthe Proposition 1 bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

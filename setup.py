@@ -1,0 +1,10 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+The target environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs are unavailable; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on a machine with wheel) installs
+the package.
+"""
+from setuptools import setup
+
+setup()

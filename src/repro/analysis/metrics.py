@@ -1,0 +1,55 @@
+"""Evaluation metrics used by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.geometry.coverage_eval import CoverageReport
+
+
+def saved_node_ratio(hgc_size: int, dcc_size: int) -> float:
+    """The paper's lambda: ``(n1 - n2) / n1`` (Figure 4's y-axis).
+
+    ``n1`` is the coverage-set size found by HGC and ``n2`` the one found
+    by DCC; positive values mean DCC needs fewer active nodes.
+    """
+    if hgc_size <= 0:
+        raise ValueError("HGC coverage set size must be positive")
+    return (hgc_size - dcc_size) / hgc_size
+
+
+def normalized_sizes(sizes: Dict[int, float], base_tau: int = 3) -> Dict[int, float]:
+    """Sizes divided by the ``base_tau`` entry (Figure 3's y-axis)."""
+    if base_tau not in sizes:
+        raise KeyError(f"no size recorded for the base confine size {base_tau}")
+    base = sizes[base_tau]
+    if base <= 0:
+        raise ValueError("base coverage set size must be positive")
+    return {tau: size / base for tau, size in sizes.items()}
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class QualityOfCoverage:
+    """Measured QoC of a schedule, from the geometric referee."""
+
+    covered_fraction: float
+    max_hole_diameter: float
+    num_holes: int
+
+    @classmethod
+    def from_report(cls, report: CoverageReport) -> "QualityOfCoverage":
+        return cls(
+            covered_fraction=report.covered_fraction,
+            max_hole_diameter=report.max_hole_diameter,
+            num_holes=len(report.holes),
+        )
+
+    def meets(self, max_hole_diameter: float, slack: float = 1e-9) -> bool:
+        return self.max_hole_diameter <= max_hole_diameter + slack

@@ -1,0 +1,120 @@
+"""Parameter-sweep infrastructure with CSV export.
+
+The paper's evaluation is a family of parameter sweeps (confine size,
+sensing ratio, hole-diameter requirement).  This module gives downstream
+users the same machinery: declare a grid of parameters, run a callable per
+cell (optionally several seeded repetitions), collect rows, aggregate and
+write CSV — all without pulling in pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class SweepResult:
+    """Rows produced by a sweep, with simple aggregation helpers."""
+
+    rows: List[Row] = field(default_factory=list)
+
+    def columns(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def filter(self, **criteria: Any) -> "SweepResult":
+        matched = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(rows=matched)
+
+    def values(self, column: str) -> List[Any]:
+        return [row[column] for row in self.rows if column in row]
+
+    def mean_by(self, group_columns: Sequence[str], value_column: str) -> Dict:
+        """Group rows by the given columns and average a numeric column."""
+        totals: Dict[tuple, List[float]] = {}
+        for row in self.rows:
+            key = tuple(row.get(col) for col in group_columns)
+            if value_column in row:
+                totals.setdefault(key, []).append(float(row[value_column]))
+        return {
+            key: sum(values) / len(values) for key, values in totals.items()
+        }
+
+    def to_csv(self, path: str) -> None:
+        columns = self.columns()
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    @classmethod
+    def from_csv(cls, path: str) -> "SweepResult":
+        with open(path, newline="", encoding="utf-8") as handle:
+            return cls(rows=[dict(row) for row in csv.DictReader(handle)])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def parameter_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """The cartesian product of named parameter axes, as dicts."""
+    names = list(axes)
+    out: List[Dict[str, Any]] = []
+    for combo in itertools.product(*(list(axes[name]) for name in names)):
+        out.append(dict(zip(names, combo)))
+    return out
+
+
+def run_sweep(
+    func: Callable[..., Mapping[str, Any]],
+    grid: Sequence[Dict[str, Any]],
+    seeds: Sequence[int] = (0,),
+    on_error: str = "raise",
+) -> SweepResult:
+    """Run ``func(**params, seed=s)`` over a grid times seeds.
+
+    ``func`` returns a mapping of measured values; each result row merges
+    the cell parameters, the seed, and the measurements.  ``on_error``:
+    ``"raise"`` propagates exceptions, ``"skip"`` records a row with an
+    ``error`` column instead.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
+    result = SweepResult()
+    for params in grid:
+        for seed in seeds:
+            row: Row = dict(params)
+            row["seed"] = seed
+            try:
+                measured = func(**params, seed=seed)
+            except Exception as exc:  # noqa: BLE001 - explicit opt-in
+                if on_error == "raise":
+                    raise
+                row["error"] = repr(exc)
+                result.rows.append(row)
+                continue
+            row.update(measured)
+            result.rows.append(row)
+    return result

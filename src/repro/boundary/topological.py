@@ -1,0 +1,99 @@
+"""Connectivity-only boundary recognition (heuristic).
+
+The paper relies on its companion fine-grained boundary-recognition
+algorithm [13] to label boundary nodes without location information.  That
+algorithm is a full paper of its own; here we provide a practical
+connectivity-only heuristic capturing its observable behaviour for the
+deployments used in the experiments:
+
+1. nodes whose k-hop neighbourhood is unusually small are boundary
+   *candidates* (an interior node of a roughly uniform deployment sees a
+   full k-ball, a periphery node roughly half of one);
+2. candidates are expanded/cleaned so that the candidate set is connected
+   and contains a cycle enclosing the rest of the network.
+
+The experiments use the geometric ground truth of
+:mod:`repro.boundary.geometric` (matching the paper's *assumption* that
+boundary roles are known); this module exists so the pipeline can also run
+end-to-end without any position information, and its agreement with the
+ground truth is measured in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.network.graph import NetworkGraph
+
+
+def neighborhood_sizes(graph: NetworkGraph, k: int) -> Dict[int, int]:
+    """Size of every node's k-hop neighbourhood (excluding itself)."""
+    return {v: len(graph.k_hop_neighborhood(v, k)) for v in graph.vertices()}
+
+
+def boundary_candidates_by_neighborhood(
+    graph: NetworkGraph, k: int = 2, quantile: float = 0.25
+) -> Set[int]:
+    """Nodes whose k-ball size falls in the lowest ``quantile`` fraction."""
+    if not 0 < quantile < 1:
+        raise ValueError("quantile must be in (0, 1)")
+    sizes = neighborhood_sizes(graph, k)
+    ordered = sorted(sizes.values())
+    cutoff_index = max(0, min(len(ordered) - 1, int(len(ordered) * quantile)))
+    cutoff = ordered[cutoff_index]
+    return {v for v, s in sizes.items() if s <= cutoff}
+
+
+def _largest_component(graph: NetworkGraph, nodes: Set[int]) -> Set[int]:
+    if not nodes:
+        return set()
+    sub = graph.induced_subgraph(nodes)
+    return max(sub.connected_components(), key=len)
+
+
+def detect_boundary_nodes(
+    graph: NetworkGraph,
+    k: int = 2,
+    quantile: float = 0.25,
+    closure_rounds: int = 2,
+) -> Set[int]:
+    """Heuristic location-free boundary labelling.
+
+    Starts from small-neighbourhood candidates, then performs a few rounds
+    of closure: a node joins the boundary set when a majority of its
+    neighbours are already in it (smoothing ragged candidate sets), and
+    finally the largest connected candidate component is returned.
+    """
+    candidates = boundary_candidates_by_neighborhood(graph, k, quantile)
+    for __ in range(closure_rounds):
+        additions = set()
+        for v in graph.vertices():
+            if v in candidates:
+                continue
+            nbrs = graph.neighbors(v)
+            if not nbrs:
+                continue
+            inside = sum(1 for u in nbrs if u in candidates)
+            if inside * 2 > len(nbrs):
+                additions.add(v)
+        if not additions:
+            break
+        candidates |= additions
+    return _largest_component(graph, candidates)
+
+
+def boundary_agreement(
+    detected: Set[int], ground_truth: Set[int]
+) -> Dict[str, float]:
+    """Precision / recall / F1 of a detected boundary set."""
+    if not detected or not ground_truth:
+        return {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+    true_positive = len(detected & ground_truth)
+    precision = true_positive / len(detected)
+    recall = true_positive / len(ground_truth)
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,130 @@
+"""Command-line front end: run any of the paper's experiments.
+
+Examples::
+
+    repro-coverage fig1
+    repro-coverage fig3 --runs 3 --nodes 220
+    repro-coverage fig4 --runs 2
+    repro-coverage all
+    python -m repro.cli fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    run_fig1_mobius,
+    run_fig2_vertex_deletion,
+    run_fig3_confine_size,
+    run_fig4_hgc_comparison,
+    run_fig5_rssi_cdf,
+    run_fig6_trace,
+    run_fig7_trace,
+)
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    return run_fig1_mobius().format_table()
+
+
+def _overrides(args: argparse.Namespace, *names: str) -> dict:
+    """Keyword overrides for options the user actually supplied."""
+    out = {}
+    mapping = {"nodes": "count", "degree": "degree", "runs": "runs", "seed": "seed"}
+    for name in names:
+        value = getattr(args, name)
+        if value is not None:
+            out[mapping[name]] = value
+    return out
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    result = run_fig2_vertex_deletion(**_overrides(args, "nodes", "degree", "seed"))
+    return result.format_table()
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    result = run_fig3_confine_size(
+        paper_scale=args.paper_scale,
+        **_overrides(args, "nodes", "degree", "runs", "seed"),
+    )
+    return result.format_table()
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    result = run_fig4_hgc_comparison(
+        **_overrides(args, "nodes", "degree", "runs", "seed")
+    )
+    return result.format_table()
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    return run_fig5_rssi_cdf(seed=args.seed if args.seed is not None else 1).format_table()
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    return run_fig6_trace(seed=args.seed if args.seed is not None else 1).format_table("6")
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    return run_fig7_trace(seed=args.seed if args.seed is not None else 1).format_table("7")
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage",
+        description=(
+            "Reproduce the evaluation figures of 'Distributed Coverage in "
+            "Wireless Ad Hoc and Sensor Networks by Topological Graph "
+            "Approaches' (ICDCS 2010)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="node count (driver default if omitted)"
+    )
+    parser.add_argument(
+        "--degree", type=float, default=None, help="target average degree"
+    )
+    parser.add_argument("--runs", type=int, default=None, help="random repetitions")
+    parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full experiment sizes (slow in pure Python)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        output = _COMMANDS[name](args)
+        print(output)
+        print(f"  [{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

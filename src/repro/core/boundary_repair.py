@@ -1,0 +1,71 @@
+"""Multi-boundary preprocessing: cone filling (Section V-B).
+
+A multiply-connected target area gives the network several boundary cycles.
+The paper reduces this to the simply-connected case by *filling a cone* onto
+every boundary except one: a virtual apex node is added and connected to all
+nodes of that boundary.  Every inner boundary cycle then becomes a sum of
+apex triangles, hence trivially 3-partitionable, and the criterion only
+needs the remaining (outer) boundary.  Apexes and repaired boundary nodes
+are protected from deletion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.network.graph import NetworkGraph
+
+
+@dataclass
+class RepairedNetwork:
+    """A graph with inner boundaries cone-filled, plus bookkeeping."""
+
+    graph: NetworkGraph
+    apexes: List[int] = field(default_factory=list)
+    protected: Set[int] = field(default_factory=set)
+
+
+def fill_boundary_cone(
+    graph: NetworkGraph, boundary_nodes: Iterable[int], apex: int
+) -> None:
+    """Attach a virtual ``apex`` joined to every node of one boundary."""
+    nodes = list(boundary_nodes)
+    if not nodes:
+        raise ValueError("cannot cone-fill an empty boundary")
+    if apex in graph:
+        raise ValueError(f"apex id {apex} already exists in the graph")
+    graph.add_vertex(apex)
+    for v in nodes:
+        graph.add_edge(apex, v)
+
+
+def repair_inner_boundaries(
+    graph: NetworkGraph,
+    boundaries: Sequence[Iterable[int]],
+    outer_index: int = 0,
+) -> RepairedNetwork:
+    """Cone-fill every boundary except ``boundaries[outer_index]``.
+
+    Returns a repaired *copy*; the original graph is untouched.  All
+    boundary nodes of every boundary plus the new apexes are protected.
+    """
+    if not boundaries:
+        raise ValueError("at least one boundary is required")
+    if not 0 <= outer_index < len(boundaries):
+        raise IndexError("outer_index out of range")
+    repaired = graph.copy()
+    protected: Set[int] = set()
+    apexes: List[int] = []
+    next_id = max(graph.vertices(), default=-1) + 1
+    for i, boundary in enumerate(boundaries):
+        nodes = list(boundary)
+        protected.update(nodes)
+        if i == outer_index:
+            continue
+        apex = next_id
+        next_id += 1
+        fill_boundary_cone(repaired, nodes, apex)
+        apexes.append(apex)
+        protected.add(apex)
+    return RepairedNetwork(graph=repaired, apexes=apexes, protected=protected)

@@ -1,0 +1,145 @@
+"""The cycle-partition coverage criterion (Propositions 2 and 3).
+
+A cycle set ``C`` is a *cycle partition* of a cycle ``C0`` when the GF(2)
+sum of its members equals ``C0`` (Definition 2); ``C0`` is
+*tau-partitionable* when some partition uses only cycles of length at most
+``tau`` (Definition 3).  The coverage criterion is then:
+
+* simply-connected target area — the subgraph ``G'`` achieves tau-confine
+  coverage if the outer boundary cycle is tau-partitionable in ``G'``
+  (Proposition 2);
+* multiply-connected target area — same with the GF(2) sum of all boundary
+  cycles (Proposition 3).
+
+Equivalently, the boundary sum must lie in the span of all cycles of length
+at most ``tau``, which :class:`repro.cycles.ShortCycleSpan` computes from
+length-capped Horton candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cycles.cycle_space import Cycle, EdgeIndex
+from repro.cycles.gf2 import gf2_solve
+from repro.cycles.horton import ShortCycleSpan, horton_candidate_cycles
+from repro.network.graph import Edge, NetworkGraph, canonical_edge
+
+VertexCycle = Sequence[int]
+
+
+def cycle_edges(cycle: VertexCycle) -> List[Edge]:
+    """Edges of a cycle given as a vertex sequence (closing edge implicit)."""
+    if len(cycle) < 3:
+        raise ValueError("a simple cycle needs at least three vertices")
+    return [
+        canonical_edge(a, b)
+        for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]])
+    ]
+
+
+def boundary_edge_sum(boundary_cycles: Sequence[VertexCycle]) -> List[Edge]:
+    """GF(2) sum (symmetric difference) of the boundary cycles' edge sets."""
+    parity: Dict[Edge, int] = {}
+    for cycle in boundary_cycles:
+        for edge in cycle_edges(cycle):
+            parity[edge] = parity.get(edge, 0) ^ 1
+    return [edge for edge, bit in parity.items() if bit]
+
+
+def is_tau_partitionable(
+    graph: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    tau: int,
+    span: Optional[ShortCycleSpan] = None,
+) -> bool:
+    """Is the boundary (sum) tau-partitionable in ``graph``?
+
+    This is the computational form of Propositions 2/3: the boundary sum
+    must be a GF(2) combination of cycles of length at most ``tau`` that
+    live entirely inside ``graph``.  Pass a prebuilt ``span`` to amortise
+    the Horton computation across several queries on the same graph.
+    """
+    if not boundary_cycles:
+        raise ValueError("at least one boundary cycle is required")
+    if span is None:
+        span = ShortCycleSpan(graph, tau)
+    elif span.graph is not graph or span.tau != tau:
+        raise ValueError("span was built for a different graph or tau")
+    return span.contains_edges(boundary_edge_sum(boundary_cycles))
+
+
+@dataclass(frozen=True)
+class CoverageVerdict:
+    """Outcome of a coverage-criterion check."""
+
+    tau: int
+    partitionable: bool
+    cycle_space_rank: int
+    short_cycle_rank: int
+
+    @property
+    def achieves_confine_coverage(self) -> bool:
+        return self.partitionable
+
+
+def verify_confine_coverage(
+    graph: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    tau: int,
+) -> CoverageVerdict:
+    """Check the cycle-partition criterion and report diagnostics."""
+    span = ShortCycleSpan(graph, tau)
+    ok = is_tau_partitionable(graph, boundary_cycles, tau, span=span)
+    return CoverageVerdict(
+        tau=tau,
+        partitionable=ok,
+        cycle_space_rank=span.cycle_space_dimension,
+        short_cycle_rank=span.rank,
+    )
+
+
+def find_cycle_partition(
+    graph: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    tau: int,
+) -> Optional[List[Cycle]]:
+    """An explicit tau-bounded cycle partition of the boundary sum.
+
+    Returns a list of cycles of length at most ``tau`` whose GF(2) sum
+    equals the boundary sum, or ``None`` when the boundary is not
+    tau-partitionable.  This materialises all capped Horton candidates and
+    solves a full linear system, so it is intended for reporting and tests
+    on small graphs; scheduling only ever needs the boolean test.
+    """
+    index = EdgeIndex.from_graph(graph)
+    target_edges = boundary_edge_sum(boundary_cycles)
+    for u, v in target_edges:
+        if not graph.has_edge(u, v):
+            return None
+    target_mask = index.mask_of_edges(target_edges)
+    candidates = horton_candidate_cycles(graph, max_length=tau)
+    candidates.sort(key=len)
+    masks = [index.mask_of_vertex_cycle(c) for c in candidates]
+    chosen = gf2_solve(target_mask, masks)
+    if chosen is None:
+        return None
+    return [Cycle.from_vertices(candidates[i], index) for i in chosen]
+
+
+def partition_is_valid(
+    graph: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    partition: Sequence[Cycle],
+    tau: int,
+) -> bool:
+    """Verify that ``partition`` really is a tau-bounded cycle partition."""
+    if any(cycle.length > tau for cycle in partition):
+        return False
+    index = EdgeIndex.from_graph(graph)
+    target = index.mask_of_edges(boundary_edge_sum(boundary_cycles))
+    total = 0
+    for cycle in partition:
+        total ^= index.mask_of_vertex_cycle(cycle.vertices)
+    return total == target

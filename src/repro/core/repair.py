@@ -1,0 +1,141 @@
+"""Self-healing: repairing a coverage set after node failures.
+
+Sensor nodes die — batteries drain, hardware fails, animals chew antennas.
+This module injects failures into a scheduled coverage set, decides from
+connectivity alone whether the coverage guarantee survived, and if not,
+wakes a (small) set of sleeping nodes to restore it.
+
+The repair strategy leans on the scheduler's own machinery: re-run maximal
+vertex deletion on the alive graph while protecting the surviving active
+nodes, so the result keeps the current working set and adds only sleepers
+that the VPT rule cannot spare.  Theorem 5 then gives the restored
+guarantee whenever the alive graph supports it at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.core.criterion import VertexCycle, is_tau_partitionable
+from repro.core.scheduler import dcc_schedule
+from repro.network.graph import NetworkGraph
+
+
+@dataclass
+class FailureAssessment:
+    """Connectivity-only verdict on a failure event."""
+
+    failed: Set[int]
+    boundary_hit: bool
+    criterion_survived: bool
+
+    @property
+    def needs_repair(self) -> bool:
+        return not self.criterion_survived
+
+
+def assess_failures(
+    active: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    tau: int,
+    failed: Iterable[int],
+) -> FailureAssessment:
+    """Did the coverage criterion survive the failure of ``failed`` nodes?"""
+    failed_set = set(failed)
+    boundary_nodes = {v for cycle in boundary_cycles for v in cycle}
+    survivors = active.vertex_set() - failed_set
+    surviving_graph = active.induced_subgraph(survivors)
+    boundary_hit = bool(failed_set & boundary_nodes)
+    survived = not boundary_hit and is_tau_partitionable(
+        surviving_graph, boundary_cycles, tau
+    )
+    return FailureAssessment(
+        failed=failed_set,
+        boundary_hit=boundary_hit,
+        criterion_survived=survived,
+    )
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a repair attempt."""
+
+    restored: bool
+    woken: List[int] = field(default_factory=list)
+    active: Optional[NetworkGraph] = None
+    assessment: Optional[FailureAssessment] = None
+
+
+def repair_coverage(
+    full_graph: NetworkGraph,
+    active_set: Iterable[int],
+    boundary_cycles: Sequence[VertexCycle],
+    protected: Iterable[int],
+    tau: int,
+    failed: Iterable[int],
+    rng: Optional[random.Random] = None,
+) -> RepairResult:
+    """Restore tau-confine coverage after ``failed`` nodes die.
+
+    ``full_graph`` is the original deployment (sleepers included);
+    ``active_set`` the coverage set before the failure.  Surviving active
+    nodes are kept on duty; the scheduler picks which sleepers must wake.
+    Returns ``restored=False`` when even waking every sleeper cannot
+    satisfy the criterion (e.g. a boundary node died, or the failures tore
+    a hole no surviving node can stitch).
+    """
+    rng = rng or random.Random()
+    failed_set = set(failed)
+    protected_set = set(protected) - failed_set
+    survivors_all = full_graph.vertex_set() - failed_set
+    alive_graph = full_graph.induced_subgraph(survivors_all)
+    active_survivors = set(active_set) - failed_set
+
+    active_graph = full_graph.induced_subgraph(
+        set(active_set) & full_graph.vertex_set()
+    )
+    assessment_active = assess_failures(
+        active_graph, boundary_cycles, tau, failed_set
+    )
+    if assessment_active.criterion_survived:
+        return RepairResult(
+            restored=True,
+            woken=[],
+            active=full_graph.induced_subgraph(active_survivors),
+            assessment=assessment_active,
+        )
+
+    # Even with every sleeper awake the criterion may be gone for good.
+    if assessment_active.boundary_hit or not is_tau_partitionable(
+        alive_graph, boundary_cycles, tau
+    ):
+        return RepairResult(
+            restored=False, woken=[], active=None, assessment=assessment_active
+        )
+
+    keep_on = (active_survivors | protected_set) & survivors_all
+    schedule = dcc_schedule(alive_graph, keep_on, tau, rng=rng)
+    woken = sorted(schedule.coverage_set - active_survivors - protected_set)
+    return RepairResult(
+        restored=True,
+        woken=woken,
+        active=schedule.active,
+        assessment=assessment_active,
+    )
+
+
+def inject_random_failures(
+    nodes: Iterable[int],
+    count: int,
+    rng: random.Random,
+    spare: Optional[Set[int]] = None,
+) -> Set[int]:
+    """Pick ``count`` distinct victims uniformly, avoiding ``spare``."""
+    pool = sorted(set(nodes) - (spare or set()))
+    if count > len(pool):
+        raise ValueError(
+            f"cannot fail {count} nodes: only {len(pool)} candidates"
+        )
+    return set(rng.sample(pool, count))

@@ -1,0 +1,190 @@
+"""The DCC scheduler: maximal vertex deletion for sparse coverage sets.
+
+Given the connectivity graph, the protected boundary nodes and a confine
+size ``tau``, the scheduler repeatedly deletes internal vertices that pass
+the void-preserving test (Definition 5) until none remains deletable.  Two
+execution modes produce the same *kind* of fixed point:
+
+* ``parallel`` — the paper's round structure: every still-deletable internal
+  node becomes a candidate, an m-hop MIS (``m = ceil(tau/2) + 1``) of the
+  candidates is selected at random, and all MIS members delete themselves
+  simultaneously.  Nodes at pairwise distance >= m have disjoint deletion
+  neighbourhoods, so the parallel round is equivalent to some sequential
+  order.
+* ``sequential`` — a centralized emulation that deletes one random deletable
+  vertex at a time; cheaper in total work, used for large simulations.
+
+Deletability results are cached per vertex and invalidated only inside the
+k-ball of each deletion (a deletion cannot change ``Gamma^k`` of vertices
+farther than ``k`` hops away, because no path through the deleted vertex
+realises a distance <= k for them).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.criterion import VertexCycle, is_tau_partitionable
+from repro.core.vpt import deletion_radius, vertex_deletable
+from repro.network.graph import NetworkGraph
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a DCC scheduling run."""
+
+    active: NetworkGraph
+    removed: List[int]
+    tau: int
+    rounds: int
+    deletions_per_round: List[int] = field(default_factory=list)
+    deletability_tests: int = 0
+
+    @property
+    def coverage_set(self) -> Set[int]:
+        return self.active.vertex_set()
+
+    @property
+    def num_active(self) -> int:
+        return len(self.active)
+
+    @property
+    def num_removed(self) -> int:
+        return len(self.removed)
+
+
+class DeletabilityCache:
+    """Memoised vertex-deletability with k-ball invalidation."""
+
+    def __init__(self, graph: NetworkGraph, tau: int) -> None:
+        self._graph = graph
+        self._tau = tau
+        self._radius = deletion_radius(tau)
+        self._cache: Dict[int, bool] = {}
+        self.tests = 0
+
+    def deletable(self, v: int) -> bool:
+        cached = self._cache.get(v)
+        if cached is not None:
+            return cached
+        result = vertex_deletable(self._graph, v, self._tau)
+        self.tests += 1
+        self._cache[v] = result
+        return result
+
+    def invalidate_ball(self, center: int) -> None:
+        """Invalidate cached results within k hops of ``center``.
+
+        Must be called *before* ``center`` is removed from the graph, while
+        its ball is still reachable.
+        """
+        for v in self._graph.k_hop_neighborhood(center, self._radius):
+            self._cache.pop(v, None)
+        self._cache.pop(center, None)
+
+
+def mis_by_distance(
+    graph: NetworkGraph,
+    candidates: Sequence[int],
+    min_separation: int,
+    rng: random.Random,
+) -> List[int]:
+    """A maximal set of candidates at pairwise hop distance >= min_separation.
+
+    Emulates the distributed random-priority MIS: candidates are visited in
+    a random order (the priority draw) and join the set when no earlier
+    member lies within ``min_separation - 1`` hops.
+    """
+    order = list(candidates)
+    rng.shuffle(order)
+    selected: Set[int] = set()
+    out: List[int] = []
+    for v in order:
+        ball = graph.bfs_distances(v, cutoff=min_separation - 1)
+        if selected.isdisjoint(ball):
+            selected.add(v)
+            out.append(v)
+    return out
+
+
+def dcc_schedule(
+    graph: NetworkGraph,
+    protected: Iterable[int],
+    tau: int,
+    rng: Optional[random.Random] = None,
+    mode: str = "parallel",
+) -> ScheduleResult:
+    """Compute a sparse tau-confine coverage set by maximal vertex deletion.
+
+    ``protected`` nodes (boundary nodes and any cone apexes) are never
+    deleted.  The returned :class:`ScheduleResult` holds the reduced graph;
+    by Theorem 5 its boundary is still tau-partitionable whenever the input
+    boundary was, and by Theorem 6 the set is non-redundant when the input
+    graph's irreducible cycles are bounded by ``tau``.
+    """
+    if mode not in ("parallel", "sequential"):
+        raise ValueError(f"unknown mode {mode!r}")
+    rng = rng or random.Random()
+    work = graph.copy()
+    protected_set = set(protected)
+    missing = protected_set - work.vertex_set()
+    if missing:
+        raise KeyError(f"protected nodes not in graph: {sorted(missing)[:5]}")
+    cache = DeletabilityCache(work, tau)
+    removed: List[int] = []
+    deletions_per_round: List[int] = []
+    separation = deletion_radius(tau) + 1
+
+    while True:
+        candidates = [
+            v
+            for v in work.vertices()
+            if v not in protected_set and cache.deletable(v)
+        ]
+        if not candidates:
+            break
+        if mode == "parallel":
+            batch = mis_by_distance(work, candidates, separation, rng)
+        else:
+            batch = [candidates[rng.randrange(len(candidates))]]
+        for v in batch:
+            cache.invalidate_ball(v)
+            work.remove_vertex(v)
+            removed.append(v)
+        deletions_per_round.append(len(batch))
+
+    return ScheduleResult(
+        active=work,
+        removed=removed,
+        tau=tau,
+        rounds=len(deletions_per_round),
+        deletions_per_round=deletions_per_round,
+        deletability_tests=cache.tests,
+    )
+
+
+def is_non_redundant(
+    graph: NetworkGraph,
+    boundary_cycles: Sequence[VertexCycle],
+    tau: int,
+    protected: Iterable[int],
+) -> bool:
+    """Definition 6 check: no single internal node can be spared.
+
+    ``graph`` should be the *reduced* graph returned by the scheduler.  The
+    check recomputes the global criterion once per internal node, so use it
+    on small graphs (tests, examples).
+    """
+    protected_set = set(protected)
+    if not is_tau_partitionable(graph, boundary_cycles, tau):
+        return False
+    for v in graph.vertices():
+        if v in protected_set:
+            continue
+        thinner = graph.copy()
+        thinner.remove_vertex(v)
+        if is_tau_partitionable(thinner, boundary_cycles, tau):
+            return False
+    return True

@@ -1,0 +1,88 @@
+"""Sensing-disk primitives.
+
+Small geometric helpers about unions and intersections of sensing disks,
+used by tests and by the Proposition 1 validation benches: a connectivity
+cycle of ``tau`` hops whose links are all at most ``Rc`` long encloses a
+region, and the sensing disks of the cycle nodes leave no hole when
+``gamma <= 2 sin(pi / tau)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.node import Position, distance
+
+
+def disks_cover_point(
+    point: Position, centers: Sequence[Position], rs: float
+) -> bool:
+    """Is ``point`` inside the union of disks of radius ``rs``?"""
+    return any(distance(point, c) <= rs + 1e-12 for c in centers)
+
+
+def disks_cover_segment(
+    a: Position,
+    b: Position,
+    centers: Sequence[Position],
+    rs: float,
+    samples: int = 64,
+) -> bool:
+    """Sampled check that a segment lies in the union of sensing disks."""
+    for i in range(samples + 1):
+        t = i / samples
+        point = (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+        if not disks_cover_point(point, centers, rs):
+            return False
+    return True
+
+
+def two_disks_cover_segment(a: Position, b: Position, rs: float) -> bool:
+    """Do disks of radius ``rs`` at the segment endpoints cover the segment?
+
+    True exactly when ``|ab| <= 2 rs``: the two disks overlap on the
+    segment's midpoint.  This is the geometric heart of the blanket
+    threshold ``gamma <= 2 sin(pi / tau)`` — the chord of a tau-gon whose
+    edges are at most ``Rc`` stays within the sensing disks.
+    """
+    return distance(a, b) <= 2.0 * rs + 1e-12
+
+
+def regular_polygon(
+    n: int, circumradius: float, center: Position = (0.0, 0.0)
+) -> List[Position]:
+    """Vertices of a regular n-gon (the worst-case tau-cycle embedding)."""
+    if n < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    cx, cy = center
+    return [
+        (
+            cx + circumradius * math.cos(2 * math.pi * i / n),
+            cy + circumradius * math.sin(2 * math.pi * i / n),
+        )
+        for i in range(n)
+    ]
+
+
+def regular_polygon_with_side(n: int, side: float) -> List[Position]:
+    """Regular n-gon with the given side length, centred at the origin."""
+    circumradius = side / (2.0 * math.sin(math.pi / n))
+    return regular_polygon(n, circumradius)
+
+
+def polygon_inradius(n: int, side: float) -> float:
+    """Apothem of a regular n-gon with the given side length."""
+    return side / (2.0 * math.tan(math.pi / n))
+
+
+def worst_case_uncovered_radius(tau: int, rc: float, rs: float) -> float:
+    """Distance from a worst-case tau-cycle's centre to coverage.
+
+    For a regular tau-gon with side ``Rc`` the centre is at circumradius
+    ``Rc / (2 sin(pi/tau))`` from every node; the uncovered slack is that
+    minus ``Rs``.  Non-positive means the centre is covered — the boundary
+    case of Proposition 1.
+    """
+    circumradius = rc / (2.0 * math.sin(math.pi / tau))
+    return circumradius - rs

@@ -1,0 +1,116 @@
+"""Minimum enclosing circles, for measuring coverage-hole diameters.
+
+The paper measures the quality of partial coverage by the *diameter of the
+minimum circle circumscribing each coverage hole*.  Welzl's randomized
+incremental algorithm computes the minimum enclosing circle of a point set
+in expected linear time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.node import Position
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by centre and radius."""
+
+    center: Position
+    radius: float
+
+    @property
+    def diameter(self) -> float:
+        return 2.0 * self.radius
+
+    def contains(self, p: Position, slack: float = 1e-9) -> bool:
+        return math.hypot(p[0] - self.center[0], p[1] - self.center[1]) <= (
+            self.radius + slack
+        )
+
+
+def _circle_from_two(a: Position, b: Position) -> Circle:
+    center = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    radius = math.hypot(a[0] - b[0], a[1] - b[1]) / 2.0
+    return Circle(center, radius)
+
+
+def _circle_from_three(a: Position, b: Position, c: Position) -> Optional[Circle]:
+    """Circumcircle of a triangle; None when the points are collinear."""
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < 1e-14:
+        return None
+    ux = (
+        (ax * ax + ay * ay) * (by - cy)
+        + (bx * bx + by * by) * (cy - ay)
+        + (cx * cx + cy * cy) * (ay - by)
+    ) / d
+    uy = (
+        (ax * ax + ay * ay) * (cx - bx)
+        + (bx * bx + by * by) * (ax - cx)
+        + (cx * cx + cy * cy) * (bx - ax)
+    ) / d
+    center = (ux, uy)
+    radius = math.hypot(ax - ux, ay - uy)
+    return Circle(center, radius)
+
+
+def _trivial_circle(support: Sequence[Position]) -> Circle:
+    if not support:
+        return Circle((0.0, 0.0), 0.0)
+    if len(support) == 1:
+        return Circle(support[0], 0.0)
+    if len(support) == 2:
+        return _circle_from_two(support[0], support[1])
+    # Three support points: take the smallest of the pairwise circles that
+    # covers everything, else the circumcircle.
+    for i in range(3):
+        for j in range(i + 1, 3):
+            circle = _circle_from_two(support[i], support[j])
+            if all(circle.contains(p) for p in support):
+                return circle
+    circumcircle = _circle_from_three(*support)
+    if circumcircle is None:
+        # Collinear support: the two extreme points define the circle.
+        pts = sorted(support)
+        return _circle_from_two(pts[0], pts[-1])
+    return circumcircle
+
+
+def minimum_enclosing_circle(
+    points: Sequence[Position], seed: int = 0
+) -> Circle:
+    """Welzl's algorithm (iterative move-to-front variant)."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot enclose an empty point set")
+    rng = random.Random(seed)
+    rng.shuffle(pts)
+    circle = Circle(pts[0], 0.0)
+    for i, p in enumerate(pts):
+        if circle.contains(p):
+            continue
+        circle = Circle(p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if circle.contains(q):
+                continue
+            circle = _circle_from_two(p, q)
+            for k in range(j):
+                r = pts[k]
+                if circle.contains(r):
+                    continue
+                circle = _trivial_circle([p, q, r])
+    return circle
+
+
+def point_set_diameter(points: Sequence[Position]) -> float:
+    """Diameter of the minimum circle circumscribing ``points``."""
+    return minimum_enclosing_circle(points).diameter

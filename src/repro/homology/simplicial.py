@@ -1,0 +1,101 @@
+"""2-dimensional simplicial complexes built from connectivity graphs.
+
+Ghrist et al. model the network as the Vietoris-Rips complex of the
+communication graph, truncated at dimension two: vertices are 0-simplices,
+communication links are 1-simplices, and every connectivity triangle
+(3-clique) is a filled 2-simplex.  Under the sensing condition
+``Rs >= Rc / sqrt(3)`` each such triangle is a coverage region without
+holes, which is what makes the complex relevant to coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.network.graph import Edge, NetworkGraph, canonical_edge
+
+Triangle = Tuple[int, int, int]
+
+
+def enumerate_triangles(graph: NetworkGraph) -> List[Triangle]:
+    """All 3-cliques ``(u, v, w)`` with ``u < v < w``."""
+    out: List[Triangle] = []
+    for u, v in graph.edges():  # edges are canonical: u < v
+        common = graph.neighbors(u) & graph.neighbors(v)
+        for w in common:
+            if w > v:
+                out.append((u, v, w))
+    return out
+
+
+@dataclass
+class RipsComplex:
+    """A graph together with its filled triangles (a 2-complex)."""
+
+    graph: NetworkGraph
+    triangles: List[Triangle] = field(default_factory=list)
+
+    @classmethod
+    def from_graph(cls, graph: NetworkGraph) -> "RipsComplex":
+        return cls(graph=graph, triangles=enumerate_triangles(graph))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.graph)
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.triangles)
+
+    def euler_characteristic(self) -> int:
+        return self.num_vertices - self.num_edges + self.num_triangles
+
+    def triangle_edges(self, triangle: Triangle) -> List[Edge]:
+        u, v, w = triangle
+        return [canonical_edge(u, v), canonical_edge(u, w), canonical_edge(v, w)]
+
+    def is_valid(self) -> bool:
+        """Closure property: every face of every simplex is present."""
+        return all(
+            self.graph.has_edge(a, b)
+            for triangle in self.triangles
+            for a, b in self.triangle_edges(triangle)
+        )
+
+
+@dataclass(frozen=True)
+class FenceSubcomplex:
+    """The fence: the boundary cycle's vertices and edges as a subcomplex.
+
+    De Silva and Ghrist's relative-homology criterion is taken relative to
+    the fence; the fence contains no triangles, so the relative 2-chains
+    are all the triangles of the full complex.
+    """
+
+    vertices: frozenset
+    edges: frozenset
+
+    @classmethod
+    def from_cycle(cls, cycle: Sequence[int]) -> "FenceSubcomplex":
+        if len(cycle) < 3:
+            raise ValueError("a fence cycle needs at least three vertices")
+        edges = frozenset(
+            canonical_edge(a, b)
+            for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]])
+        )
+        return cls(vertices=frozenset(cycle), edges=edges)
+
+    @classmethod
+    def from_cycles(cls, cycles: Sequence[Sequence[int]]) -> "FenceSubcomplex":
+        vertices: Set[int] = set()
+        edges: Set[Edge] = set()
+        for cycle in cycles:
+            sub = cls.from_cycle(cycle)
+            vertices |= sub.vertices
+            edges |= sub.edges
+        return cls(vertices=frozenset(vertices), edges=frozenset(edges))

@@ -1,0 +1,32 @@
+"""Sensor node model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+Position = Tuple[float, float]
+
+
+def distance(p: Position, q: Position) -> float:
+    """Euclidean distance between two points in the plane."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+@dataclass
+class Node:
+    """A sensor node: an id, a position, and its boundary/internal role.
+
+    Positions exist only inside the simulator — the coverage algorithms
+    never read them.  ``is_boundary`` reflects the paper's assumption that
+    each node knows whether it sits in the periphery band.
+    """
+
+    id: int
+    position: Position
+    is_boundary: bool = False
+    is_virtual: bool = False
+
+    def distance_to(self, other: "Node") -> float:
+        return distance(self.position, other.position)

@@ -1,0 +1,147 @@
+"""Radio (communication) models.
+
+The coverage algorithms consume only the connectivity graph; these models
+decide which links exist in a simulated deployment.  The paper's confine
+coverage does not require the unit disk model — only that every link is
+shorter than the maximum communication range ``Rc`` — so besides the UDG
+used for comparison with HGC we provide a quasi-UDG and a log-normal
+shadowing model (used by the synthetic GreenOrbs trace substrate).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.network.graph import NetworkGraph
+from repro.network.node import Position, distance
+
+
+class RadioModel(ABC):
+    """Decides whether two positioned nodes share a communication link."""
+
+    def __init__(self, rc: float) -> None:
+        if rc <= 0:
+            raise ValueError("communication range must be positive")
+        self.rc = rc
+
+    @abstractmethod
+    def link_exists(
+        self, p: Position, q: Position, rng: random.Random
+    ) -> bool:
+        """Is there an (undirected) link between nodes at ``p`` and ``q``?"""
+
+    def build_graph(
+        self,
+        positions: Dict[int, Position],
+        rng: Optional[random.Random] = None,
+    ) -> NetworkGraph:
+        """Connectivity graph of a deployment under this radio model.
+
+        Uses a uniform grid spatial index so only node pairs within ``Rc``
+        of each other are tested, which keeps graph construction near
+        linear in the number of nodes.
+        """
+        rng = rng or random.Random()
+        graph = NetworkGraph(positions.keys())
+        cell = self.rc
+        buckets: Dict[Tuple[int, int], list] = {}
+        for node, (x, y) in positions.items():
+            buckets.setdefault((int(x // cell), int(y // cell)), []).append(node)
+        for (cx, cy), nodes in buckets.items():
+            neighbors_cells = [
+                buckets.get((cx + dx, cy + dy), [])
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+            ]
+            for u in nodes:
+                pu = positions[u]
+                for cell_nodes in neighbors_cells:
+                    for v in cell_nodes:
+                        if v <= u:
+                            continue
+                        pv = positions[v]
+                        if distance(pu, pv) > self.rc:
+                            continue
+                        if self.link_exists(pu, pv, rng):
+                            graph.add_edge(u, v)
+        return graph
+
+
+class UnitDiskRadio(RadioModel):
+    """The classical UDG: a link exists iff the distance is at most Rc."""
+
+    def link_exists(self, p: Position, q: Position, rng: random.Random) -> bool:
+        return distance(p, q) <= self.rc
+
+
+class QuasiUnitDiskRadio(RadioModel):
+    """Quasi-UDG(alpha): certain links below ``alpha * Rc``, none above Rc.
+
+    In the grey zone ``(alpha * Rc, Rc]`` each link exists independently
+    with probability ``grey_link_probability`` — a standard way to model
+    irregular radios while keeping every link bounded by ``Rc``, which is
+    all that confine coverage needs.
+    """
+
+    def __init__(
+        self, rc: float, alpha: float = 0.75, grey_link_probability: float = 0.5
+    ) -> None:
+        super().__init__(rc)
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 <= grey_link_probability <= 1:
+            raise ValueError("grey_link_probability must be a probability")
+        self.alpha = alpha
+        self.grey_link_probability = grey_link_probability
+
+    def link_exists(self, p: Position, q: Position, rng: random.Random) -> bool:
+        d = distance(p, q)
+        if d <= self.alpha * self.rc:
+            return True
+        if d > self.rc:
+            return False
+        return rng.random() < self.grey_link_probability
+
+
+class LogNormalShadowingRadio(RadioModel):
+    """Log-normal shadowing: link iff received power clears a threshold.
+
+    ``RSSI(d) = tx_power - 10 n log10(d / d0) + N(0, sigma)``.  The model
+    still hard-caps links at ``Rc`` (beyond which reception is physically
+    impossible in our simulations), preserving the paper's sole assumption
+    on the communication model.
+    """
+
+    def __init__(
+        self,
+        rc: float,
+        tx_power_dbm: float = -35.0,
+        path_loss_exponent: float = 3.0,
+        reference_distance: float = 1.0,
+        shadowing_sigma_db: float = 4.0,
+        sensitivity_dbm: float = -90.0,
+    ) -> None:
+        super().__init__(rc)
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.reference_distance = reference_distance
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.sensitivity_dbm = sensitivity_dbm
+
+    def mean_rssi(self, d: float) -> float:
+        d = max(d, self.reference_distance * 1e-3)
+        return self.tx_power_dbm - 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance
+        )
+
+    def sample_rssi(self, d: float, rng: random.Random) -> float:
+        return self.mean_rssi(d) + rng.gauss(0.0, self.shadowing_sigma_db)
+
+    def link_exists(self, p: Position, q: Position, rng: random.Random) -> bool:
+        d = distance(p, q)
+        if d > self.rc:
+            return False
+        return self.sample_rssi(d, rng) >= self.sensitivity_dbm

@@ -1,0 +1,31 @@
+"""Distributed execution substrate: simulator, MIS, the DCC protocol."""
+
+from repro.runtime.messages import (
+    DeletePayload,
+    Message,
+    MessageKind,
+    PriorityPayload,
+    TopologyPayload,
+)
+from repro.runtime.mis import distributed_mis
+from repro.runtime.protocol import (
+    DistributedDCC,
+    DistributedResult,
+    distributed_dcc_schedule,
+)
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import RuntimeStats
+
+__all__ = [
+    "DeletePayload",
+    "DistributedDCC",
+    "DistributedResult",
+    "Message",
+    "MessageKind",
+    "PriorityPayload",
+    "RuntimeStats",
+    "Simulator",
+    "TopologyPayload",
+    "distributed_dcc_schedule",
+    "distributed_mis",
+]

@@ -1,0 +1,60 @@
+"""Message types exchanged by the distributed DCC protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, FrozenSet, Set, Tuple
+
+
+class MessageKind(Enum):
+    """Protocol message families.
+
+    TOPOLOGY — neighbourhood gossip during k-hop discovery;
+    PRIORITY — MIS arbitration floods (priority draw + hop budget);
+    DELETE — a winner announcing it leaves the coverage set.
+    """
+
+    TOPOLOGY = "topology"
+    PRIORITY = "priority"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A broadcast message; ``src`` is the sending node.
+
+    All DCC traffic is local broadcast: the simulator delivers each sent
+    message to every active neighbour of ``src``.
+    """
+
+    kind: MessageKind
+    src: int
+    payload: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.kind.value}, src={self.src})"
+
+
+@dataclass(frozen=True)
+class TopologyPayload:
+    """Adjacency gossip: ``adjacency[node] = frozenset(neighbours)``."""
+
+    adjacency: Tuple[Tuple[int, FrozenSet[int]], ...]
+
+
+@dataclass(frozen=True)
+class PriorityPayload:
+    """An MIS arbitration token flooded up to ``ttl`` more hops."""
+
+    origin: int
+    priority: float
+    ttl: int
+
+
+@dataclass(frozen=True)
+class DeletePayload:
+    """Deletion announcement flooded up to ``ttl`` more hops."""
+
+    origin: int
+    ttl: int

@@ -1,0 +1,83 @@
+"""Distributed m-hop MIS election by random priorities.
+
+Every candidate draws a random priority and floods it ``m`` hops.  A
+candidate joins the independent set when its (priority, id) pair beats
+every other candidate token it heard — so any two winners are more than
+``m`` hops apart, and each round of the enclosing loop elects a fresh
+batch until no candidates remain (maximality across rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.runtime.messages import Message, MessageKind, PriorityPayload
+from repro.runtime.simulator import Simulator
+
+
+def distributed_mis(
+    sim: Simulator,
+    candidates: Iterable[int],
+    m: int,
+    rng: random.Random,
+) -> List[int]:
+    """Elect an independent set among ``candidates`` at pairwise distance > m.
+
+    Runs ``m`` synchronous flooding rounds on the simulator.  Returns the
+    winners (local priority maxima).  The rounds and messages are recorded
+    in ``sim.stats``.
+    """
+    candidate_set = set(candidates)
+    if not candidate_set:
+        return []
+    priorities: Dict[int, Tuple[float, int]] = {
+        v: (rng.random(), v) for v in sorted(candidate_set)
+    }
+    # best_seen[v]: strongest token from a *different* candidate heard by v.
+    best_seen: Dict[int, Tuple[float, int]] = {}
+    relayed: Dict[int, Set[int]] = {v: set() for v in sim.active}
+
+    for v in candidate_set:
+        priority, __ = priorities[v]
+        sim.send(
+            Message(
+                MessageKind.PRIORITY,
+                src=v,
+                payload=PriorityPayload(origin=v, priority=priority, ttl=m - 1),
+            )
+        )
+
+    for __ in range(m):
+        sim.step()
+        for node in list(sim.active):
+            for message in sim.inbox(node):
+                if message.kind is not MessageKind.PRIORITY:
+                    continue
+                payload = message.payload
+                token = (payload.priority, payload.origin)
+                if node in candidate_set and payload.origin != node:
+                    if node not in best_seen or token > best_seen[node]:
+                        best_seen[node] = token
+                if payload.ttl > 0 and payload.origin not in relayed.setdefault(
+                    node, set()
+                ):
+                    relayed[node].add(payload.origin)
+                    sim.send(
+                        Message(
+                            MessageKind.PRIORITY,
+                            src=node,
+                            payload=PriorityPayload(
+                                origin=payload.origin,
+                                priority=payload.priority,
+                                ttl=payload.ttl - 1,
+                            ),
+                        )
+                    )
+
+    winners = [
+        v
+        for v in sorted(candidate_set)
+        if v not in best_seen or priorities[v] > best_seen[v]
+    ]
+    return winners

@@ -1,0 +1,216 @@
+"""The distributed DCC protocol over the message-passing simulator.
+
+Faithful to Section V-B: each internal node gathers the connectivity among
+its k-hop neighbours (k = ceil(tau/2)) by k rounds of adjacency gossip,
+locally decides deletability by the void-preserving transformation, and the
+deletions are parallelised by electing an m-hop MIS (m = k + 1) among the
+candidates with random priorities.  Winners flood a deletion notice k hops
+so affected nodes update their local views, and the loop repeats until no
+node can be deleted.
+
+The centralized scheduler (:func:`repro.core.scheduler.dcc_schedule`)
+computes fixpoints of the same deletion rule without the messaging; the
+integration tests check both produce valid, non-redundant coverage sets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.vpt import deletion_radius, vertex_deletable
+from repro.network.graph import NetworkGraph
+from repro.runtime.messages import (
+    DeletePayload,
+    Message,
+    MessageKind,
+    TopologyPayload,
+)
+from repro.runtime.mis import distributed_mis
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import RuntimeStats
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a distributed DCC execution."""
+
+    active: NetworkGraph
+    removed: List[int]
+    iterations: int
+    stats: RuntimeStats
+
+    @property
+    def num_active(self) -> int:
+        return len(self.active)
+
+
+class _LocalView:
+    """What one node knows: adjacency rows learned through gossip."""
+
+    __slots__ = ("adjacency",)
+
+    def __init__(self) -> None:
+        self.adjacency: Dict[int, FrozenSet[int]] = {}
+
+    def merge(self, rows: Tuple[Tuple[int, FrozenSet[int]], ...]) -> bool:
+        changed = False
+        for node, nbrs in rows:
+            if node not in self.adjacency:
+                self.adjacency[node] = nbrs
+                changed = True
+        return changed
+
+    def forget(self, node: int) -> None:
+        self.adjacency.pop(node, None)
+        self.adjacency = {
+            v: nbrs - {node} if node in nbrs else nbrs
+            for v, nbrs in self.adjacency.items()
+        }
+
+    def as_graph(self) -> NetworkGraph:
+        graph = NetworkGraph()
+        known = set(self.adjacency)
+        for v, nbrs in self.adjacency.items():
+            graph.add_vertex(v)
+            for u in nbrs:
+                if u in known:
+                    graph.add_edge(u, v)
+                else:
+                    graph.add_vertex(u)
+                    graph.add_edge(u, v)
+        return graph
+
+
+class DistributedDCC:
+    """Runs the DCC protocol on a simulated network."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        protected: Iterable[int],
+        tau: int,
+        rng: Optional[random.Random] = None,
+        max_iterations: int = 10_000,
+    ) -> None:
+        self.sim = Simulator(graph)
+        self.protected = set(protected)
+        self.tau = tau
+        self.k = deletion_radius(tau)
+        self.m = self.k + 1
+        self.rng = rng or random.Random()
+        self.max_iterations = max_iterations
+        self.views: Dict[int, _LocalView] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> DistributedResult:
+        self._discover_topology()
+        removed: List[int] = []
+        iterations = 0
+        while iterations < self.max_iterations:
+            iterations += 1
+            self.sim.stats.deletion_iterations += 1
+            candidates = self._local_candidates()
+            if not candidates:
+                break
+            winners = distributed_mis(self.sim, candidates, self.m, self.rng)
+            self._announce_deletions(winners)
+            for winner in winners:
+                self.sim.deactivate(winner)
+                self.views.pop(winner, None)
+            removed.extend(winners)
+        return DistributedResult(
+            active=self.sim.graph.copy(),
+            removed=removed,
+            iterations=iterations,
+            stats=self.sim.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _discover_topology(self) -> None:
+        """k rounds of adjacency gossip; then every node knows its k-ball.
+
+        After round ``r`` a node holds the neighbour lists of everything
+        within ``r`` hops, so ``k`` rounds suffice for the edges among its
+        k-hop neighbours (including those between two depth-k nodes).
+        """
+        sim = self.sim
+        for node in sim.active:
+            view = _LocalView()
+            view.adjacency[node] = frozenset(sim.graph.neighbors(node))
+            self.views[node] = view
+        for __ in range(self.k):
+            for node in sim.active:
+                rows = tuple(self.views[node].adjacency.items())
+                sim.send(
+                    Message(
+                        MessageKind.TOPOLOGY,
+                        src=node,
+                        payload=TopologyPayload(adjacency=rows),
+                    )
+                )
+            sim.step()
+            for node in sim.active:
+                view = self.views[node]
+                for message in sim.inbox(node):
+                    if message.kind is MessageKind.TOPOLOGY:
+                        view.merge(message.payload.adjacency)
+
+    def _local_candidates(self) -> List[int]:
+        """Nodes that decide — from their own view — they are deletable."""
+        out: List[int] = []
+        for node in sorted(self.sim.active):
+            if node in self.protected:
+                continue
+            local = self.views[node].as_graph()
+            if node not in local:
+                continue
+            if vertex_deletable(local, node, self.tau):
+                out.append(node)
+        return out
+
+    def _announce_deletions(self, winners: List[int]) -> None:
+        """Winners flood DELETE k hops; receivers update their views."""
+        if not winners:
+            return
+        sim = self.sim
+        for winner in winners:
+            sim.send(
+                Message(
+                    MessageKind.DELETE,
+                    src=winner,
+                    payload=DeletePayload(origin=winner, ttl=self.k - 1),
+                )
+            )
+        relayed: Dict[int, Set[int]] = {}
+        for __ in range(self.k):
+            sim.step()
+            for node in list(sim.active):
+                for message in sim.inbox(node):
+                    if message.kind is not MessageKind.DELETE:
+                        continue
+                    payload = message.payload
+                    self.views[node].forget(payload.origin)
+                    seen = relayed.setdefault(node, set())
+                    if payload.ttl > 0 and payload.origin not in seen:
+                        seen.add(payload.origin)
+                        sim.send(
+                            Message(
+                                MessageKind.DELETE,
+                                src=node,
+                                payload=DeletePayload(
+                                    origin=payload.origin, ttl=payload.ttl - 1
+                                ),
+                            )
+                        )
+
+
+def distributed_dcc_schedule(
+    graph: NetworkGraph,
+    protected: Iterable[int],
+    tau: int,
+    rng: Optional[random.Random] = None,
+) -> DistributedResult:
+    """Convenience wrapper: run the full distributed DCC protocol."""
+    return DistributedDCC(graph, protected, tau, rng=rng).run()

@@ -1,0 +1,41 @@
+"""Accounting for distributed executions: rounds, messages, bytes-ish."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by the round-based simulator."""
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    deletion_iterations: int = 0
+
+    def record_send(self, kind: str, deliveries: int) -> None:
+        self.messages_sent += 1
+        self.messages_delivered += deliveries
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def merge(self, other: "RuntimeStats") -> None:
+        self.rounds += other.rounds
+        self.messages_sent += other.messages_sent
+        self.messages_delivered += other.messages_delivered
+        self.deletion_iterations += other.deletion_iterations
+        for kind, count in other.messages_by_kind.items():
+            self.messages_by_kind[kind] = (
+                self.messages_by_kind.get(kind, 0) + count
+            )
+
+    def summary(self) -> str:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.messages_by_kind.items())
+        )
+        return (
+            f"rounds={self.rounds} sent={self.messages_sent} "
+            f"delivered={self.messages_delivered} [{kinds}]"
+        )

@@ -1,0 +1,25 @@
+"""Synthetic GreenOrbs-style RSSI traces (see DESIGN.md, substitution 1)."""
+
+from repro.traces.greenorbs import (
+    GreenOrbsConfig,
+    GreenOrbsTrace,
+    generate_greenorbs_trace,
+)
+from repro.traces.rssi import (
+    RssiRecord,
+    RssiTrace,
+    graph_from_trace,
+    rssi_cdf,
+    threshold_for_fraction,
+)
+
+__all__ = [
+    "GreenOrbsConfig",
+    "GreenOrbsTrace",
+    "RssiRecord",
+    "RssiTrace",
+    "generate_greenorbs_trace",
+    "graph_from_trace",
+    "rssi_cdf",
+    "threshold_for_fraction",
+]

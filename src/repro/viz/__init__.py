@@ -1,0 +1,15 @@
+"""Dependency-free SVG rendering of networks and schedules."""
+
+from repro.viz.svg import (
+    SvgCanvas,
+    render_coverage_report,
+    render_network,
+    render_schedule,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "render_coverage_report",
+    "render_network",
+    "render_schedule",
+]

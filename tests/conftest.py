@@ -1,0 +1,70 @@
+"""Shared fixtures: canonical graphs and small deployed networks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import (
+    annulus_network,
+    cycle_graph,
+    mobius_band_network,
+    square_grid,
+    triangulated_grid,
+    wheel_graph,
+)
+
+
+@pytest.fixture
+def k4() -> NetworkGraph:
+    return NetworkGraph(range(4), [(i, j) for i in range(4) for j in range(i + 1, 4)])
+
+
+@pytest.fixture
+def c6() -> NetworkGraph:
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def grid5():
+    """5x5 plain square grid (every inner face a 4-cycle)."""
+    return square_grid(5, 5)
+
+
+@pytest.fixture
+def trigrid6():
+    """6x6 triangulated grid (every inner face a triangle)."""
+    return triangulated_grid(6, 6)
+
+
+@pytest.fixture
+def mobius():
+    return mobius_band_network()
+
+
+@pytest.fixture
+def annulus():
+    return annulus_network()
+
+
+@pytest.fixture
+def wheel8() -> NetworkGraph:
+    return wheel_graph(8)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+def random_graph(n: int, p: float, seed: int) -> NetworkGraph:
+    """An Erdos-Renyi graph, used across the property suites."""
+    rng = random.Random(seed)
+    graph = NetworkGraph(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph

@@ -1,0 +1,69 @@
+"""The distributed protocol and the centralized scheduler agree in kind.
+
+Both compute maximal-vertex-deletion fixpoints of the same VPT rule; exact
+node sets differ with randomness, but validity properties and approximate
+sizes must match.
+"""
+
+import random
+
+import pytest
+
+from repro.core.criterion import is_tau_partitionable
+from repro.core.scheduler import dcc_schedule
+from repro.core.vpt import deletable_vertices
+from repro.network.deployment import Rectangle, build_network
+from repro.network.topologies import annulus_network, triangulated_grid
+from repro.runtime.protocol import distributed_dcc_schedule
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    net = build_network(120, Rectangle(0, 0, 5, 5), rc=1.0, rs=1.0, seed=9)
+    return net
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("tau", [3, 4])
+    def test_both_reach_valid_fixpoints(self, small_net, tau):
+        protected = set(small_net.boundary_nodes)
+        central = dcc_schedule(
+            small_net.graph, protected, tau, rng=random.Random(0)
+        )
+        distributed = distributed_dcc_schedule(
+            small_net.graph, protected, tau, rng=random.Random(0)
+        )
+        for result_graph in (central.active, distributed.active):
+            assert deletable_vertices(result_graph, tau, exclude=protected) == []
+
+    @pytest.mark.parametrize("tau", [3, 4])
+    def test_sizes_comparable(self, small_net, tau):
+        protected = set(small_net.boundary_nodes)
+        central = dcc_schedule(
+            small_net.graph, protected, tau, rng=random.Random(1)
+        )
+        distributed = distributed_dcc_schedule(
+            small_net.graph, protected, tau, rng=random.Random(1)
+        )
+        assert abs(central.num_active - distributed.num_active) <= max(
+            5, 0.1 * len(small_net.graph)
+        )
+
+    def test_distributed_message_accounting(self, small_net):
+        protected = set(small_net.boundary_nodes)
+        result = distributed_dcc_schedule(
+            small_net.graph, protected, 3, rng=random.Random(2)
+        )
+        stats = result.stats
+        assert stats.messages_sent > 0
+        assert stats.messages_delivered >= stats.messages_sent
+        assert set(stats.messages_by_kind) <= {"topology", "priority", "delete"}
+        assert stats.messages_by_kind["topology"] >= len(small_net.graph)
+
+    def test_grid_partitionability_preserved_distributed(self):
+        mesh = triangulated_grid(7, 7)
+        boundary = mesh.outer_boundary
+        result = distributed_dcc_schedule(
+            mesh.graph, set(boundary), 6, rng=random.Random(3)
+        )
+        assert is_tau_partitionable(result.active, [boundary], 6)

@@ -1,0 +1,85 @@
+"""End-to-end pipeline: deploy -> boundary -> schedule -> verify -> measure.
+
+This is the full DCC story on a simulated network, with the geometric
+referee confirming the coverage semantics that Proposition 1 promises.
+"""
+
+import random
+
+import pytest
+
+from repro.boundary.geometric import outer_boundary_cycle
+from repro.core.confine import ConfineRequirement, hole_diameter_bound
+from repro.core.criterion import is_tau_partitionable
+from repro.core.scheduler import dcc_schedule
+from repro.core.vpt import deletable_vertices
+from repro.geometry.coverage_eval import evaluate_coverage
+from repro.network.deployment import Rectangle, build_network
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    net = build_network(420, Rectangle(0, 0, 7.3, 7.3), rc=1.0, rs=1.0, seed=0)
+    cycle = outer_boundary_cycle(net)
+    protected = set(net.boundary_nodes) | set(cycle)
+    return net, cycle, protected
+
+
+class TestPipeline:
+    def test_initial_coverage_is_blanket(self, deployed):
+        net, __, __ = deployed
+        report = evaluate_coverage(
+            list(net.positions.values()), net.rs, net.target_area, 80
+        )
+        assert report.is_blanket
+
+    @pytest.mark.parametrize("tau", [4, 6])
+    def test_schedule_preserves_criterion_and_coverage(self, deployed, tau):
+        net, cycle, protected = deployed
+        before = is_tau_partitionable(net.graph, [cycle], tau)
+        result = dcc_schedule(
+            net.graph, protected, tau, rng=random.Random(tau)
+        )
+        # Theorem 5: partitionability preserved
+        after = is_tau_partitionable(result.active, [cycle], tau)
+        assert before == after
+        # fixpoint
+        assert deletable_vertices(result.active, tau, exclude=protected) == []
+        # substantial thinning happened
+        assert result.num_removed > 0.25 * (len(net.graph) - len(protected))
+
+    @pytest.mark.parametrize("tau", [4, 6])
+    def test_geometric_qoc_within_proposition1_bound(self, deployed, tau):
+        """Holes of the thinned network obey Dmax <= (tau - 2) Rc.
+
+        gamma = 1 <= 2 sin(pi/tau) for tau <= 6, so these schedules should
+        actually stay blanket; the weaker (tau-2)Rc bound must hold a
+        fortiori whenever the initial criterion held.
+        """
+        net, cycle, protected = deployed
+        if not is_tau_partitionable(net.graph, [cycle], tau):
+            pytest.skip("deployment does not satisfy the criterion initially")
+        result = dcc_schedule(
+            net.graph, protected, tau, rng=random.Random(100 + tau)
+        )
+        active_positions = [
+            net.positions[v] for v in result.active.vertex_set()
+        ]
+        report = evaluate_coverage(active_positions, net.rs, net.target_area, 90)
+        assert report.max_hole_diameter <= hole_diameter_bound(tau, net.rc) + 0.15
+
+    def test_larger_tau_thins_more(self, deployed):
+        net, cycle, protected = deployed
+        sizes = {}
+        for tau in (3, 6):
+            result = dcc_schedule(
+                net.graph, protected, tau, rng=random.Random(7)
+            )
+            sizes[tau] = result.num_active
+        assert sizes[6] <= sizes[3]
+
+    def test_requirement_driven_tau_selection(self, deployed):
+        net, __, __ = deployed
+        requirement = ConfineRequirement(gamma=net.gamma, max_hole_diameter=0.0)
+        tau = requirement.max_feasible_tau()
+        assert tau == 6  # gamma = 1

@@ -1,0 +1,62 @@
+"""Multiply-connected target areas: cone filling + scheduling end-to-end."""
+
+import random
+
+import pytest
+
+from repro.core.boundary_repair import repair_inner_boundaries
+from repro.core.criterion import is_tau_partitionable
+from repro.core.scheduler import dcc_schedule
+from repro.core.vpt import deletable_vertices
+from repro.network.topologies import annulus_network
+
+
+@pytest.fixture
+def repaired_annulus():
+    annulus = annulus_network(outer_size=20, rings=4)
+    repaired = repair_inner_boundaries(
+        annulus.graph, [annulus.outer_boundary, annulus.inner_boundary]
+    )
+    return annulus, repaired
+
+
+class TestAnnulusPipeline:
+    def test_multi_boundary_criterion_direct(self, repaired_annulus):
+        annulus, __ = repaired_annulus
+        cycles = [annulus.outer_boundary, annulus.inner_boundary]
+        # Proposition 3: the boundary *sum* is partitionable in the band
+        assert is_tau_partitionable(annulus.graph, cycles, 3)
+
+    def test_cone_filled_outer_criterion(self, repaired_annulus):
+        annulus, repaired = repaired_annulus
+        assert is_tau_partitionable(
+            repaired.graph, [annulus.outer_boundary], 3
+        )
+
+    def test_schedule_on_repaired_graph(self, repaired_annulus):
+        annulus, repaired = repaired_annulus
+        result = dcc_schedule(
+            repaired.graph, repaired.protected, 4, rng=random.Random(0)
+        )
+        # apex survives, both boundary rings survive
+        assert set(repaired.apexes) <= result.coverage_set
+        assert set(annulus.outer_boundary) <= result.coverage_set
+        assert set(annulus.inner_boundary) <= result.coverage_set
+        # outer boundary still partitionable after thinning (Theorem 5)
+        assert is_tau_partitionable(
+            result.active, [annulus.outer_boundary], 4
+        )
+        assert (
+            deletable_vertices(result.active, 4, exclude=repaired.protected)
+            == []
+        )
+
+    def test_multi_boundary_sum_still_partitionable_without_cone(self):
+        """Scheduling the raw annulus under Proposition 3's criterion."""
+        annulus = annulus_network(outer_size=16, rings=4)
+        protected = set(annulus.outer_boundary) | set(annulus.inner_boundary)
+        cycles = [annulus.outer_boundary, annulus.inner_boundary]
+        before = is_tau_partitionable(annulus.graph, cycles, 4)
+        result = dcc_schedule(annulus.graph, protected, 4, rng=random.Random(1))
+        after = is_tau_partitionable(result.active, cycles, 4)
+        assert before == after

@@ -1,0 +1,73 @@
+"""Property-based tests for Proposition 1's threshold structure."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confine import (
+    ConfineRequirement,
+    blanket_sensing_ratio_threshold,
+    guarantees_blanket,
+    hole_diameter_bound,
+    max_blanket_tau,
+)
+
+gammas = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+taus = st.integers(min_value=3, max_value=32)
+
+
+class TestThresholdStructure:
+    @given(taus)
+    def test_threshold_strictly_decreasing(self, tau):
+        assert blanket_sensing_ratio_threshold(
+            tau
+        ) > blanket_sensing_ratio_threshold(tau + 1)
+
+    @given(gammas)
+    def test_max_blanket_tau_is_exactly_the_frontier(self, gamma):
+        tau = max_blanket_tau(gamma, tau_cap=64)
+        if tau is None:
+            assert not guarantees_blanket(3, gamma)
+            return
+        assert guarantees_blanket(tau, gamma)
+        if tau < 64:
+            assert not guarantees_blanket(tau + 1, gamma)
+
+    @given(taus, st.floats(min_value=0.1, max_value=5.0))
+    def test_hole_bound_scales_linearly_with_rc(self, tau, rc):
+        assert hole_diameter_bound(tau, rc) == (tau - 2) * rc
+
+
+class TestRequirementStructure:
+    @given(gammas, st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=80)
+    def test_feasible_set_is_prefix(self, gamma, dmax):
+        requirement = ConfineRequirement(gamma=gamma, max_hole_diameter=dmax)
+        taus_ok = requirement.feasible_taus(tau_cap=20)
+        if taus_ok:
+            assert taus_ok == list(range(3, taus_ok[-1] + 1))
+
+    @given(gammas, st.floats(min_value=0.0, max_value=3.0),
+           st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=80)
+    def test_relaxing_requirement_never_shrinks_tau(self, gamma, dmax, extra):
+        tight = ConfineRequirement(gamma=gamma, max_hole_diameter=dmax)
+        loose = ConfineRequirement(gamma=gamma, max_hole_diameter=dmax + extra)
+        tau_tight = tight.max_feasible_tau(tau_cap=20)
+        tau_loose = loose.max_feasible_tau(tau_cap=20)
+        if tau_tight is not None:
+            assert tau_loose is not None
+            assert tau_loose >= tau_tight
+
+    @given(st.floats(min_value=0.05, max_value=1.9),
+           st.floats(min_value=0.01, max_value=0.1))
+    @settings(max_examples=80)
+    def test_shrinking_gamma_never_shrinks_tau(self, gamma, delta):
+        big = ConfineRequirement(gamma=gamma + delta)
+        small = ConfineRequirement(gamma=gamma)
+        tau_big = big.max_feasible_tau(tau_cap=30)
+        tau_small = small.max_feasible_tau(tau_cap=30)
+        if tau_big is not None:
+            assert tau_small is not None
+            assert tau_small >= tau_big

@@ -1,0 +1,74 @@
+"""Property-based tests for GF(2) linear algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cycles.gf2 import GF2Basis, gf2_rank, gf2_solve
+
+vectors = st.lists(st.integers(min_value=0, max_value=2**24 - 1), max_size=24)
+
+
+class TestBasisProperties:
+    @given(vectors)
+    def test_rank_bounded_by_count_and_width(self, vecs):
+        rank = gf2_rank(vecs)
+        assert rank <= len([v for v in vecs if v])
+        assert rank <= 24
+
+    @given(vectors)
+    def test_every_input_in_span(self, vecs):
+        basis = GF2Basis(vecs)
+        for v in vecs:
+            assert basis.contains(v)
+
+    @given(vectors, vectors)
+    def test_rank_monotone_under_union(self, a, b):
+        assert gf2_rank(a + b) >= gf2_rank(a)
+        assert gf2_rank(a + b) <= gf2_rank(a) + gf2_rank(b)
+
+    @given(vectors)
+    def test_xor_closure(self, vecs):
+        """The span is closed under XOR of any two inputs."""
+        basis = GF2Basis(vecs)
+        for i in range(min(len(vecs), 5)):
+            for j in range(i):
+                assert basis.contains(vecs[i] ^ vecs[j])
+
+    @given(vectors)
+    def test_reduce_idempotent(self, vecs):
+        basis = GF2Basis(vecs)
+        for v in vecs[:5]:
+            residue = basis.reduce(v)
+            assert basis.reduce(residue) == residue
+
+    @given(vectors)
+    def test_insertion_order_does_not_change_span_rank(self, vecs):
+        assert gf2_rank(vecs) == gf2_rank(list(reversed(vecs)))
+
+
+class TestSolveProperties:
+    @given(vectors, st.integers(min_value=0, max_value=2**24 - 1))
+    def test_solve_soundness(self, vecs, target):
+        chosen = gf2_solve(target, vecs)
+        if chosen is not None:
+            total = 0
+            for i in chosen:
+                total ^= vecs[i]
+            assert total == target
+
+    @given(vectors, st.data())
+    def test_solve_completeness_for_span_members(self, vecs, data):
+        """Any XOR of a subset must be solvable."""
+        if not vecs:
+            return
+        subset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(vecs) - 1),
+                max_size=len(vecs),
+                unique=True,
+            )
+        )
+        target = 0
+        for i in subset:
+            target ^= vecs[i]
+        assert gf2_solve(target, vecs) is not None

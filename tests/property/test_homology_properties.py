@@ -1,0 +1,77 @@
+"""Property-based tests for simplicial homology over GF(2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.homology.homology import (
+    betti_numbers,
+    relative_betti_1,
+)
+from repro.homology.simplicial import FenceSubcomplex, RipsComplex
+from repro.network.graph import NetworkGraph
+
+
+@st.composite
+def random_graphs(draw, max_nodes=10):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((i, j))
+    return NetworkGraph(range(n), edges)
+
+
+class TestEulerIdentity:
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_betti_alternating_sum_is_euler_characteristic(self, graph):
+        """b0 - b1 + b2 == V - E + T for every Rips 2-complex."""
+        complex_ = RipsComplex.from_graph(graph)
+        betti = betti_numbers(complex_)
+        assert betti.euler_characteristic() == complex_.euler_characteristic()
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_betti_numbers_nonnegative(self, graph):
+        betti = betti_numbers(RipsComplex.from_graph(graph))
+        assert betti.b0 >= 1
+        assert betti.b1 >= 0
+        assert betti.b2 >= 0
+
+
+class TestRelativeHomologyProperties:
+    @given(random_graphs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_relative_b1_nonnegative(self, graph, data):
+        complex_ = RipsComplex.from_graph(graph)
+        # pick any triangle of the graph as a degenerate fence cycle
+        import networkx as nx
+
+        cycles = [c for c in nx.simple_cycles(graph.to_networkx()) if len(c) >= 3]
+        if not cycles:
+            return
+        fence_cycle = data.draw(st.sampled_from(cycles))
+        fence = FenceSubcomplex.from_cycle(fence_cycle)
+        assert relative_betti_1(complex_, fence) >= 0
+
+    @given(random_graphs(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_filling_a_fence_cycle_never_raises_relative_b1(self, graph, data):
+        """Relative b1 with fence F is at most the absolute b1 plus |F| - 1.
+
+        A loose sandwich bound that catches sign errors: modding out a
+        connected fence can create at most |fence edges| new relative
+        cycles while killing classes supported on the fence.
+        """
+        import networkx as nx
+
+        complex_ = RipsComplex.from_graph(graph)
+        cycles = [c for c in nx.simple_cycles(graph.to_networkx()) if len(c) >= 3]
+        if not cycles:
+            return
+        fence_cycle = data.draw(st.sampled_from(cycles))
+        fence = FenceSubcomplex.from_cycle(fence_cycle)
+        absolute = betti_numbers(complex_).b1
+        relative = relative_betti_1(complex_, fence)
+        assert relative <= absolute + len(fence.edges)

@@ -1,0 +1,79 @@
+"""Property-based tests for failure injection and repair."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criterion import is_tau_partitionable
+from repro.core.repair import (
+    assess_failures,
+    inject_random_failures,
+    repair_coverage,
+)
+from repro.core.scheduler import dcc_schedule
+from repro.network.topologies import triangulated_grid
+
+
+@st.composite
+def scheduled_meshes(draw):
+    cols = draw(st.integers(min_value=5, max_value=7))
+    rows = draw(st.integers(min_value=5, max_value=7))
+    tau = draw(st.sampled_from([6, 7]))
+    mesh = triangulated_grid(cols, rows)
+    boundary = mesh.outer_boundary
+    seed = draw(st.integers(min_value=0, max_value=10))
+    result = dcc_schedule(
+        mesh.graph, set(boundary), tau, rng=random.Random(seed)
+    )
+    return mesh, boundary, tau, result
+
+
+class TestRepairProperties:
+    @given(scheduled_meshes(), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_repair_restores_or_reports_impossible(self, case, data):
+        mesh, boundary, tau, schedule = case
+        rng = random.Random(data.draw(st.integers(0, 99)))
+        count = data.draw(st.integers(min_value=1, max_value=3))
+        internal = sorted(mesh.graph.vertex_set() - set(boundary))
+        if count > len(internal):
+            return
+        victims = inject_random_failures(
+            internal, count, rng
+        )
+        repaired = repair_coverage(
+            mesh.graph,
+            schedule.coverage_set,
+            [boundary],
+            boundary,
+            tau,
+            victims,
+            rng=rng,
+        )
+        alive = mesh.graph.induced_subgraph(
+            mesh.graph.vertex_set() - victims
+        )
+        alive_supports = is_tau_partitionable(alive, [boundary], tau)
+        if repaired.restored:
+            assert is_tau_partitionable(repaired.active, [boundary], tau)
+            assert victims.isdisjoint(repaired.active.vertex_set())
+        else:
+            # repair may only give up when even full wake-up cannot help
+            assert not alive_supports
+
+    @given(scheduled_meshes(), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_assessment_matches_direct_check(self, case, data):
+        mesh, boundary, tau, schedule = case
+        active_internal = sorted(
+            schedule.coverage_set - set(boundary)
+        )
+        if not active_internal:
+            return
+        victim = data.draw(st.sampled_from(active_internal))
+        verdict = assess_failures(schedule.active, [boundary], tau, [victim])
+        survivors = schedule.active.copy()
+        survivors.remove_vertex(victim)
+        direct = is_tau_partitionable(survivors, [boundary], tau)
+        assert verdict.criterion_survived == direct

@@ -1,0 +1,92 @@
+"""Property-based tests for the distributed runtime."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topologies import triangulated_grid
+from repro.runtime.messages import Message, MessageKind
+from repro.runtime.mis import distributed_mis
+from repro.runtime.simulator import Simulator
+
+
+class TestSimulatorProperties:
+    @given(st.integers(min_value=0, max_value=23), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_delivery_is_exactly_neighbourhood(self, src, seed):
+        mesh = triangulated_grid(4, 6)
+        sim = Simulator(mesh.graph)
+        sim.send(Message(MessageKind.TOPOLOGY, src=src, payload=seed))
+        sim.step()
+        receivers = {
+            v for v in mesh.graph.vertices() if sim.inbox(v)
+        }
+        assert receivers == mesh.graph.neighbors(src)
+
+    @given(st.lists(st.integers(min_value=0, max_value=23), max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_message_conservation(self, sources):
+        mesh = triangulated_grid(4, 6)
+        sim = Simulator(mesh.graph)
+        for src in sources:
+            sim.send(Message(MessageKind.DELETE, src=src, payload=None))
+        sim.step()
+        delivered = sum(len(sim.inbox(v)) for v in mesh.graph.vertices())
+        expected = sum(mesh.graph.degree(src) for src in sources)
+        assert delivered == expected == sim.stats.messages_delivered
+
+
+class TestDistributedMisProperties:
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=99),
+        st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_winner_separation_for_any_candidate_set(self, m, seed, data):
+        mesh = triangulated_grid(5, 5)
+        vertices = sorted(mesh.graph.vertices())
+        candidates = data.draw(
+            st.lists(st.sampled_from(vertices), min_size=1, max_size=12,
+                     unique=True)
+        )
+        sim = Simulator(mesh.graph)
+        winners = distributed_mis(sim, candidates, m, random.Random(seed))
+        assert winners
+        assert set(winners) <= set(candidates)
+        for i, u in enumerate(winners):
+            dist = mesh.graph.bfs_distances(u)
+            for v in winners[i + 1:]:
+                assert dist[v] > m - 1
+
+    @given(st.integers(min_value=0, max_value=99))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_winners(self, seed):
+        mesh = triangulated_grid(5, 5)
+        candidates = sorted(mesh.graph.vertices())[::3]
+        first = distributed_mis(
+            Simulator(mesh.graph), candidates, 3, random.Random(seed)
+        )
+        second = distributed_mis(
+            Simulator(mesh.graph), candidates, 3, random.Random(seed)
+        )
+        assert first == second
+
+    @given(st.integers(min_value=0, max_value=49))
+    @settings(max_examples=10, deadline=None)
+    def test_repeated_rounds_exhaust_candidates(self, seed):
+        """Iterating MIS rounds (as the protocol does) drains every
+        candidate: each round elects at least one winner."""
+        mesh = triangulated_grid(5, 5)
+        remaining = set(sorted(mesh.graph.vertices())[::3])
+        rng = random.Random(seed)
+        rounds = 0
+        while remaining and rounds < 100:
+            winners = distributed_mis(
+                Simulator(mesh.graph), sorted(remaining), 3, rng
+            )
+            assert winners, "an MIS round elected nobody"
+            remaining -= set(winners)
+            rounds += 1
+        assert not remaining

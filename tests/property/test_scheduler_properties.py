@@ -1,0 +1,95 @@
+"""Property-based tests for VPT deletion and the DCC scheduler.
+
+The central invariant (Theorem 5): a void-preserving vertex deletion never
+changes whether the boundary is tau-partitionable.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criterion import is_tau_partitionable
+from repro.core.scheduler import dcc_schedule, mis_by_distance
+from repro.core.vpt import deletable_vertices, vertex_deletable
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import triangulated_grid
+
+
+@st.composite
+def thinned_grids(draw):
+    """A triangulated grid with a few random interior nodes knocked out."""
+    cols = draw(st.integers(min_value=4, max_value=6))
+    rows = draw(st.integers(min_value=4, max_value=6))
+    mesh = triangulated_grid(cols, rows)
+    boundary = mesh.outer_boundary
+    interior = sorted(set(mesh.graph.vertices()) - set(boundary))
+    kills = draw(
+        st.lists(st.sampled_from(interior), max_size=len(interior) // 3, unique=True)
+    )
+    graph = mesh.graph.copy()
+    for v in kills:
+        graph.remove_vertex(v)
+    giant = max(graph.connected_components(), key=len)
+    if set(boundary) - giant:
+        graph = mesh.graph.copy()  # fall back to the intact mesh
+    else:
+        graph = graph.induced_subgraph(giant)
+    return graph, boundary
+
+
+class TestTheorem5:
+    @given(thinned_grids(), st.integers(min_value=3, max_value=7), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_single_deletion_preserves_partitionability(self, case, tau, data):
+        graph, boundary = case
+        candidates = deletable_vertices(graph, tau, exclude=set(boundary))
+        if not candidates:
+            return
+        victim = data.draw(st.sampled_from(candidates))
+        before = is_tau_partitionable(graph, [boundary], tau)
+        thinner = graph.copy()
+        thinner.remove_vertex(victim)
+        after = is_tau_partitionable(thinner, [boundary], tau)
+        assert before == after
+
+    @given(thinned_grids(), st.integers(min_value=3, max_value=7))
+    @settings(max_examples=15, deadline=None)
+    def test_full_schedule_preserves_partitionability(self, case, tau):
+        graph, boundary = case
+        before = is_tau_partitionable(graph, [boundary], tau)
+        result = dcc_schedule(
+            graph, set(boundary), tau, rng=random.Random(0)
+        )
+        after = is_tau_partitionable(result.active, [boundary], tau)
+        assert before == after
+
+    @given(thinned_grids(), st.integers(min_value=3, max_value=7))
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_reaches_fixpoint(self, case, tau):
+        graph, boundary = case
+        result = dcc_schedule(graph, set(boundary), tau, rng=random.Random(1))
+        assert deletable_vertices(result.active, tau, exclude=set(boundary)) == []
+
+
+class TestMISProperties:
+    @given(
+        thinned_grids(),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_separation_and_maximality(self, case, m, seed):
+        graph, __ = case
+        candidates = sorted(graph.vertices())[::2]
+        selected = mis_by_distance(graph, candidates, m, random.Random(seed))
+        # pairwise separation
+        for i, u in enumerate(selected):
+            dist = graph.bfs_distances(u)
+            for v in selected[i + 1:]:
+                assert dist.get(v, 10**9) >= m
+        # maximality: every candidate is within m-1 hops of a winner
+        winners = set(selected)
+        for v in candidates:
+            ball = set(graph.bfs_distances(v, cutoff=m - 1))
+            assert winners & ball

@@ -1,0 +1,83 @@
+"""Unit tests for multi-boundary cone filling."""
+
+import pytest
+
+from repro.core.boundary_repair import (
+    fill_boundary_cone,
+    repair_inner_boundaries,
+)
+from repro.core.criterion import is_tau_partitionable
+from repro.network.topologies import annulus_network
+
+
+class TestConeFilling:
+    def test_apex_connected_to_all(self, annulus):
+        graph = annulus.graph.copy()
+        apex = max(graph.vertices()) + 1
+        fill_boundary_cone(graph, annulus.inner_boundary, apex)
+        assert graph.degree(apex) == len(annulus.inner_boundary)
+
+    def test_empty_boundary_rejected(self, annulus):
+        graph = annulus.graph.copy()
+        with pytest.raises(ValueError):
+            fill_boundary_cone(graph, [], 999)
+
+    def test_existing_apex_rejected(self, annulus):
+        graph = annulus.graph.copy()
+        with pytest.raises(ValueError):
+            fill_boundary_cone(graph, annulus.inner_boundary, 0)
+
+
+class TestRepair:
+    def test_repair_adds_one_apex_per_inner_boundary(self, annulus):
+        repaired = repair_inner_boundaries(
+            annulus.graph, [annulus.outer_boundary, annulus.inner_boundary]
+        )
+        assert len(repaired.apexes) == 1
+        apex = repaired.apexes[0]
+        assert repaired.graph.degree(apex) == len(annulus.inner_boundary)
+
+    def test_original_untouched(self, annulus):
+        before = len(annulus.graph)
+        repair_inner_boundaries(
+            annulus.graph, [annulus.outer_boundary, annulus.inner_boundary]
+        )
+        assert len(annulus.graph) == before
+
+    def test_protected_contains_boundaries_and_apexes(self, annulus):
+        repaired = repair_inner_boundaries(
+            annulus.graph, [annulus.outer_boundary, annulus.inner_boundary]
+        )
+        assert set(annulus.outer_boundary) <= repaired.protected
+        assert set(annulus.inner_boundary) <= repaired.protected
+        assert set(repaired.apexes) <= repaired.protected
+
+    def test_repair_makes_outer_boundary_partitionable(self, annulus):
+        """Cone filling reduces the multi-boundary case to Proposition 2."""
+        assert not is_tau_partitionable(
+            annulus.graph, [annulus.outer_boundary], 3
+        )
+        repaired = repair_inner_boundaries(
+            annulus.graph, [annulus.outer_boundary, annulus.inner_boundary]
+        )
+        assert is_tau_partitionable(
+            repaired.graph, [annulus.outer_boundary], 3
+        )
+
+    def test_outer_index_selection(self, annulus):
+        repaired = repair_inner_boundaries(
+            annulus.graph,
+            [annulus.outer_boundary, annulus.inner_boundary],
+            outer_index=1,
+        )
+        apex = repaired.apexes[0]
+        # now the outer boundary got the cone instead
+        assert repaired.graph.degree(apex) == len(annulus.outer_boundary)
+
+    def test_validation(self, annulus):
+        with pytest.raises(ValueError):
+            repair_inner_boundaries(annulus.graph, [])
+        with pytest.raises(IndexError):
+            repair_inner_boundaries(
+                annulus.graph, [annulus.outer_boundary], outer_index=5
+            )

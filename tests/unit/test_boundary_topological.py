@@ -1,0 +1,66 @@
+"""Unit tests for location-free (heuristic) boundary recognition."""
+
+import pytest
+
+from repro.boundary.topological import (
+    boundary_agreement,
+    boundary_candidates_by_neighborhood,
+    detect_boundary_nodes,
+    neighborhood_sizes,
+)
+from repro.network.deployment import Rectangle, build_network
+from repro.network.topologies import triangulated_grid
+
+
+class TestNeighborhoodSizes:
+    def test_grid_corner_smaller_than_center(self):
+        mesh = triangulated_grid(7, 7)
+        sizes = neighborhood_sizes(mesh.graph, 2)
+        corner, center = 0, 24
+        assert sizes[corner] < sizes[center]
+
+
+class TestCandidates:
+    def test_quantile_validation(self, trigrid6):
+        with pytest.raises(ValueError):
+            boundary_candidates_by_neighborhood(trigrid6.graph, quantile=0.0)
+
+    def test_candidates_prefer_rim(self):
+        mesh = triangulated_grid(9, 9)
+        candidates = boundary_candidates_by_neighborhood(mesh.graph, 2, 0.3)
+        rim = set(mesh.outer_boundary)
+        assert len(candidates & rim) / len(candidates) > 0.8
+
+
+class TestDetection:
+    def test_detected_set_is_connected(self):
+        net = build_network(250, Rectangle(0, 0, 8, 8), 1.0, 1.0, seed=7)
+        detected = detect_boundary_nodes(net.graph)
+        sub = net.graph.induced_subgraph(detected)
+        assert sub.is_connected()
+
+    def test_reasonable_agreement_with_ground_truth(self):
+        net = build_network(250, Rectangle(0, 0, 8, 8), 1.0, 1.0, seed=8)
+        detected = detect_boundary_nodes(net.graph)
+        scores = boundary_agreement(detected, net.boundary_nodes)
+        assert scores["precision"] > 0.6
+        assert scores["recall"] > 0.25
+
+
+class TestAgreementMetric:
+    def test_perfect_agreement(self):
+        assert boundary_agreement({1, 2}, {1, 2}) == {
+            "precision": 1.0,
+            "recall": 1.0,
+            "f1": 1.0,
+        }
+
+    def test_empty_sets(self):
+        assert boundary_agreement(set(), {1})["f1"] == 0.0
+        assert boundary_agreement({1}, set())["f1"] == 0.0
+
+    def test_partial_overlap(self):
+        scores = boundary_agreement({1, 2, 3, 4}, {3, 4, 5, 6})
+        assert scores["precision"] == pytest.approx(0.5)
+        assert scores["recall"] == pytest.approx(0.5)
+        assert scores["f1"] == pytest.approx(0.5)

@@ -1,0 +1,39 @@
+"""Unit tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_defaults_are_unset(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.nodes is None
+        assert args.degree is None
+        assert args.runs is None
+        assert args.seed is None
+        assert not args.paper_scale
+
+    def test_overrides_parse(self):
+        args = build_parser().parse_args(
+            ["fig3", "--nodes", "99", "--degree", "7.5", "--runs", "4"]
+        )
+        assert (args.nodes, args.degree, args.runs) == (99, 7.5, 4)
+
+
+class TestMain:
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Moebius" in out
+        assert "false negative" in out

@@ -1,0 +1,130 @@
+"""Unit tests for the cycle-partition coverage criterion."""
+
+import pytest
+
+from repro.core.criterion import (
+    boundary_edge_sum,
+    cycle_edges,
+    find_cycle_partition,
+    is_tau_partitionable,
+    partition_is_valid,
+    verify_confine_coverage,
+)
+from repro.cycles.horton import ShortCycleSpan
+from repro.network.graph import NetworkGraph
+
+
+class TestCycleEdges:
+    def test_closing_edge_implicit(self):
+        assert sorted(cycle_edges([0, 1, 2])) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_edges([0, 1])
+
+
+class TestBoundaryEdgeSum:
+    def test_single_cycle(self):
+        assert sorted(boundary_edge_sum([[0, 1, 2]])) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_shared_edges_cancel(self):
+        # two triangles sharing edge (0,2): the shared edge disappears
+        total = boundary_edge_sum([[0, 1, 2], [0, 2, 3]])
+        assert (0, 2) not in total
+        assert sorted(total) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_identical_cycles_cancel_entirely(self):
+        assert boundary_edge_sum([[0, 1, 2], [0, 1, 2]]) == []
+
+
+class TestPartitionability:
+    def test_grid_boundary(self, grid5):
+        assert is_tau_partitionable(grid5.graph, [grid5.outer_boundary], 4)
+        assert not is_tau_partitionable(grid5.graph, [grid5.outer_boundary], 3)
+
+    def test_triangulated_grid_boundary(self, trigrid6):
+        assert is_tau_partitionable(trigrid6.graph, [trigrid6.outer_boundary], 3)
+
+    def test_mobius_is_3_partitionable(self, mobius):
+        assert is_tau_partitionable(mobius.graph, [mobius.outer_boundary], 3)
+
+    def test_annulus_multi_boundary(self, annulus):
+        cycles = [annulus.outer_boundary, annulus.inner_boundary]
+        assert is_tau_partitionable(annulus.graph, cycles, 3)
+        # with only the outer boundary the inner hole is a genuine void
+        assert not is_tau_partitionable(annulus.graph, [annulus.outer_boundary], 3)
+
+    def test_monotone_in_tau(self, grid5):
+        results = [
+            is_tau_partitionable(grid5.graph, [grid5.outer_boundary], tau)
+            for tau in range(3, 8)
+        ]
+        # once partitionable, larger tau stays partitionable
+        assert results == sorted(results)
+
+    def test_requires_boundary(self, grid5):
+        with pytest.raises(ValueError):
+            is_tau_partitionable(grid5.graph, [], 4)
+
+    def test_prebuilt_span_reuse(self, grid5):
+        span = ShortCycleSpan(grid5.graph, 4)
+        assert is_tau_partitionable(
+            grid5.graph, [grid5.outer_boundary], 4, span=span
+        )
+
+    def test_mismatched_span_rejected(self, grid5):
+        span = ShortCycleSpan(grid5.graph, 5)
+        with pytest.raises(ValueError):
+            is_tau_partitionable(grid5.graph, [grid5.outer_boundary], 4, span=span)
+
+    def test_boundary_edge_missing_from_subgraph(self, grid5):
+        # delete a boundary edge: the boundary cycle no longer exists there
+        thinner = grid5.graph.copy()
+        a, b = grid5.outer_boundary[0], grid5.outer_boundary[1]
+        thinner.remove_edge(a, b)
+        assert not is_tau_partitionable(thinner, [grid5.outer_boundary], 4)
+
+
+class TestVerdict:
+    def test_verdict_fields(self, grid5):
+        verdict = verify_confine_coverage(grid5.graph, [grid5.outer_boundary], 4)
+        assert verdict.achieves_confine_coverage
+        assert verdict.tau == 4
+        assert verdict.short_cycle_rank == verdict.cycle_space_rank == 16
+
+    def test_failed_verdict(self, grid5):
+        verdict = verify_confine_coverage(grid5.graph, [grid5.outer_boundary], 3)
+        assert not verdict.achieves_confine_coverage
+        assert verdict.short_cycle_rank == 0  # grid has no triangles
+
+
+class TestExplicitPartition:
+    def test_partition_of_grid_boundary(self, grid5):
+        partition = find_cycle_partition(grid5.graph, [grid5.outer_boundary], 4)
+        assert partition is not None
+        assert all(c.length <= 4 for c in partition)
+        assert partition_is_valid(
+            grid5.graph, [grid5.outer_boundary], partition, 4
+        )
+
+    def test_partition_of_mobius_boundary(self, mobius):
+        partition = find_cycle_partition(mobius.graph, [mobius.outer_boundary], 3)
+        assert partition is not None
+        assert partition_is_valid(
+            mobius.graph, [mobius.outer_boundary], partition, 3
+        )
+
+    def test_no_partition_returns_none(self, grid5):
+        assert find_cycle_partition(grid5.graph, [grid5.outer_boundary], 3) is None
+
+    def test_partition_invalid_when_too_long(self, grid5):
+        partition = find_cycle_partition(grid5.graph, [grid5.outer_boundary], 4)
+        assert not partition_is_valid(
+            grid5.graph, [grid5.outer_boundary], partition, 3
+        )
+
+    def test_partition_with_missing_edges_is_none(self, grid5):
+        thinner = grid5.graph.copy()
+        a, b = grid5.outer_boundary[0], grid5.outer_boundary[1]
+        thinner.remove_edge(a, b)
+        assert find_cycle_partition(thinner, [grid5.outer_boundary], 4) is None

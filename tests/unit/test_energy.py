@@ -1,0 +1,57 @@
+"""Unit tests for the energy model and battery state."""
+
+import pytest
+
+from repro.network.energy import EnergyModel, EnergyState
+
+
+class TestEnergyModel:
+    def test_defaults_give_100_shifts(self):
+        assert EnergyModel().always_on_shifts == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(battery_capacity=0)
+        with pytest.raises(ValueError):
+            EnergyModel(active_cost=0)
+        with pytest.raises(ValueError):
+            EnergyModel(sleep_cost=-0.1)
+        with pytest.raises(ValueError):
+            EnergyModel(active_cost=1.0, sleep_cost=2.0)
+
+
+class TestEnergyState:
+    def test_initial_state(self):
+        state = EnergyState([1, 2, 3], EnergyModel(battery_capacity=5.0))
+        assert state.alive() == {1, 2, 3}
+        assert state.depleted() == set()
+        assert state.total_residual() == pytest.approx(15.0)
+
+    def test_drain_splits_active_and_sleeping(self):
+        model = EnergyModel(battery_capacity=10.0, active_cost=2.0, sleep_cost=0.5)
+        state = EnergyState([1, 2], model)
+        died = state.drain_shift(active=[1])
+        assert died == set()
+        assert state.residual_of(1) == pytest.approx(8.0)
+        assert state.residual_of(2) == pytest.approx(9.5)
+
+    def test_death_reported_once(self):
+        model = EnergyModel(battery_capacity=1.0, active_cost=1.0, sleep_cost=0.1)
+        state = EnergyState([1, 2], model)
+        died = state.drain_shift(active=[1])
+        assert died == {1}
+        assert state.drain_shift(active=[1]) == set()  # already dead
+        assert state.alive() == {2}
+
+    def test_recharge(self):
+        model = EnergyModel(battery_capacity=3.0)
+        state = EnergyState([1], model)
+        state.drain_shift(active=[1])
+        state.recharge(1)
+        assert state.residual_of(1) == pytest.approx(3.0)
+
+    def test_total_residual_never_negative(self):
+        model = EnergyModel(battery_capacity=0.5, active_cost=1.0, sleep_cost=0.0)
+        state = EnergyState([1], model)
+        state.drain_shift(active=[1])
+        assert state.total_residual() == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for experiment result containers (no heavy computation)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    Fig1Result,
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    TraceConfineResult,
+)
+
+
+class TestFig1Result:
+    def test_table_mentions_both_verdicts(self):
+        result = Fig1Result(
+            hgc_relative_betti_1=1, hgc_verified=False, dcc_partitionable=True
+        )
+        table = result.format_table()
+        assert "relative b1 = 1" in table
+        assert "false negative" in table
+        assert "True (correct)" in table
+
+
+class TestFig2Result:
+    def test_preservation_flag(self):
+        result = Fig2Result(
+            total_nodes=100,
+            protected_nodes=40,
+            active_by_tau={3: 90, 4: 80},
+            initially_partitionable={3: True, 4: False},
+            finally_partitionable={3: True, 4: True},
+        )
+        assert result.preserved(3)
+        assert not result.preserved(4)
+        assert "tau=4" in result.format_table()
+
+
+class TestFig3Result:
+    def test_table_rows(self):
+        result = Fig3Result(
+            taus=[3, 4], mean_ratio_by_tau={3: 1.0, 4: 0.8}, runs=2
+        )
+        table = result.format_table()
+        assert "2 runs" in table
+        assert "ratio=0.800" in table
+
+
+class TestFig4Result:
+    def test_grid_formatting_with_missing_cells(self):
+        result = Fig4Result(
+            gammas=[2.0, 1.0],
+            requirements=[0.0, 1.2],
+            saved={(0.0, 2.0): 0.0, (0.0, 1.0): 0.25},
+            saved_internal={(0.0, 1.0): 0.5},
+            tau_used={(0.0, 2.0): None, (0.0, 1.0): 6},
+        )
+        table = result.format_table()
+        assert "Full" in table
+        assert " 0.25" in table
+        assert "    -" in table  # missing cell placeholder
+        assert "internal" in table
+
+
+class TestFig5Result:
+    def test_table(self):
+        result = Fig5Result(
+            thresholds_dbm=[-85.0],
+            fraction_at_least=[0.8],
+            chosen_threshold_dbm=-84.9,
+            kept_fraction=0.8,
+        )
+        table = result.format_table()
+        assert "-85.0" in table
+        assert "80" in table
+
+
+class TestTraceConfineResult:
+    def test_table_uses_figure_number(self):
+        result = TraceConfineResult(
+            taus=[3, 4],
+            inner_left_by_tau={3: 20, 4: 10},
+            boundary_nodes=30,
+            total_nodes=100,
+        )
+        assert "Figure 6" in result.format_table("6")
+        assert "Figure 7" in result.format_table("7")
+        assert "inner nodes left = 10" in result.format_table("6")

@@ -1,0 +1,112 @@
+"""Unit tests for the HGC baseline (verification and scheduling)."""
+
+import math
+import random
+
+import pytest
+
+from repro.homology.hgc import (
+    HGC_MAX_SENSING_RATIO,
+    hgc_schedule,
+    hgc_verify,
+)
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import triangulated_grid, wheel_graph
+
+
+class TestVerification:
+    def test_wheel_verifies(self, wheel8):
+        verification = hgc_verify(wheel8, [list(range(8))])
+        assert verification.verified
+        assert verification.relative_betti_1 == 0
+        assert verification.num_triangles == 8
+
+    def test_triangulated_grid_verifies(self, trigrid6):
+        assert hgc_verify(trigrid6.graph, [trigrid6.outer_boundary]).verified
+
+    def test_square_grid_fails(self, grid5):
+        # no triangles at all: every inner square is a potential hole
+        assert not hgc_verify(grid5.graph, [grid5.outer_boundary]).verified
+
+    def test_mobius_false_negative(self, mobius):
+        """The paper's Figure 1: covered network rejected by HGC."""
+        assert not hgc_verify(mobius.graph, [mobius.outer_boundary]).verified
+
+    def test_sensing_ratio_constant(self):
+        assert HGC_MAX_SENSING_RATIO == pytest.approx(math.sqrt(3))
+
+
+class TestScheduling:
+    def test_wheel_hub_removed(self, wheel8):
+        result = hgc_schedule(wheel8, [list(range(8))], range(8))
+        # the hub is needed: without it no triangles remain
+        assert result.removed == []
+        assert result.num_active == 9
+
+    def test_redundant_apex_removed(self):
+        # two stacked apexes over a triangle: one is redundant
+        g = NetworkGraph(range(3), [(0, 1), (1, 2), (2, 0)])
+        for apex in (3, 4):
+            g.add_vertex(apex)
+            for v in (0, 1, 2):
+                g.add_edge(apex, v)
+        result = hgc_schedule(g, [[0, 1, 2]], [0, 1, 2], rng=random.Random(0))
+        assert len(result.removed) >= 1
+        assert hgc_verify(result.active, [[0, 1, 2]]).verified
+
+    def test_triangulated_grid_keeps_verification(self, trigrid6):
+        boundary = trigrid6.outer_boundary
+        result = hgc_schedule(
+            trigrid6.graph, [boundary], boundary, rng=random.Random(1)
+        )
+        assert hgc_verify(result.active, [boundary]).verified
+        assert result.initial_betti_1 == result.final_betti_1 == 0
+        assert result.verifications > len(result.removed)
+
+    def test_preserve_mode_on_unverified_network(self, grid5):
+        boundary = grid5.outer_boundary
+        initial = hgc_verify(grid5.graph, [boundary]).relative_betti_1
+        result = hgc_schedule(
+            grid5.graph, [boundary], boundary, rng=random.Random(2)
+        )
+        assert result.initial_betti_1 == initial
+        assert result.final_betti_1 == initial
+
+    def test_require_verified_raises(self, grid5):
+        with pytest.raises(ValueError):
+            hgc_schedule(
+                grid5.graph,
+                [grid5.outer_boundary],
+                grid5.outer_boundary,
+                require_verified=True,
+            )
+
+    def test_protected_nodes_survive(self, trigrid6):
+        boundary = set(trigrid6.outer_boundary)
+        result = hgc_schedule(
+            trigrid6.graph,
+            [trigrid6.outer_boundary],
+            boundary,
+            rng=random.Random(3),
+        )
+        assert boundary <= result.coverage_set
+
+    def test_input_graph_untouched(self, wheel8):
+        before = wheel8.num_edges()
+        hgc_schedule(wheel8, [list(range(8))], range(8))
+        assert wheel8.num_edges() == before
+
+
+class TestHGCvsDCC:
+    def test_hgc_never_sparser_than_dcc_tau3_on_disk(self, trigrid6):
+        """HGC's criterion is strictly stronger, so DCC saves nodes."""
+        from repro.core.scheduler import dcc_schedule
+
+        boundary = trigrid6.outer_boundary
+        hgc = hgc_schedule(
+            trigrid6.graph, [boundary], boundary, rng=random.Random(4)
+        )
+        dcc = dcc_schedule(
+            trigrid6.graph, set(boundary), 6, rng=random.Random(4)
+        )
+        assert dcc.num_active <= hgc.num_active

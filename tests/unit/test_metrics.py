@@ -1,0 +1,67 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    QualityOfCoverage,
+    mean,
+    normalized_sizes,
+    saved_node_ratio,
+)
+from repro.geometry.coverage_eval import evaluate_coverage
+from repro.network.deployment import Rectangle
+
+
+class TestSavedNodeRatio:
+    def test_basic(self):
+        assert saved_node_ratio(100, 60) == pytest.approx(0.4)
+
+    def test_zero_when_equal(self):
+        assert saved_node_ratio(50, 50) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            saved_node_ratio(0, 10)
+
+
+class TestNormalizedSizes:
+    def test_normalisation(self):
+        ratios = normalized_sizes({3: 100.0, 4: 80.0, 5: 50.0})
+        assert ratios[3] == pytest.approx(1.0)
+        assert ratios[5] == pytest.approx(0.5)
+
+    def test_missing_base(self):
+        with pytest.raises(KeyError):
+            normalized_sizes({4: 10.0})
+
+    def test_zero_base(self):
+        with pytest.raises(ValueError):
+            normalized_sizes({3: 0.0})
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestQualityOfCoverage:
+    def test_from_report_blanket(self):
+        report = evaluate_coverage(
+            [(2.0, 2.0)], 4.0, Rectangle(0, 0, 4, 4), 30
+        )
+        qoc = QualityOfCoverage.from_report(report)
+        assert qoc.covered_fraction == pytest.approx(1.0)
+        assert qoc.num_holes == 0
+        assert qoc.meets(0.0)
+
+    def test_meets_with_holes(self):
+        report = evaluate_coverage(
+            [(0.0, 0.0)], 1.0, Rectangle(0, 0, 4, 4), 40
+        )
+        qoc = QualityOfCoverage.from_report(report)
+        assert not qoc.meets(0.1)
+        assert qoc.meets(qoc.max_hole_diameter)

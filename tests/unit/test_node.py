@@ -1,0 +1,25 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.network.node import Node, distance
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance((1, 1), (1, 1)) == 0.0
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node(7, (1.0, 2.0))
+        assert not node.is_boundary
+        assert not node.is_virtual
+
+    def test_distance_to(self):
+        a = Node(0, (0.0, 0.0))
+        b = Node(1, (0.0, 2.0))
+        assert a.distance_to(b) == pytest.approx(2.0)

@@ -1,0 +1,114 @@
+"""Unit tests for radio models."""
+
+import random
+
+import pytest
+
+from repro.network.radio import (
+    LogNormalShadowingRadio,
+    QuasiUnitDiskRadio,
+    UnitDiskRadio,
+)
+
+
+class TestUnitDisk:
+    def test_link_iff_within_range(self, rng):
+        radio = UnitDiskRadio(1.0)
+        assert radio.link_exists((0, 0), (0.9, 0), rng)
+        assert radio.link_exists((0, 0), (1.0, 0), rng)
+        assert not radio.link_exists((0, 0), (1.1, 0), rng)
+
+    def test_rc_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.0)
+
+    def test_build_graph_matches_pairwise(self, rng):
+        radio = UnitDiskRadio(1.0)
+        positions = {0: (0.0, 0.0), 1: (0.5, 0.0), 2: (2.0, 0.0), 3: (2.4, 0.0)}
+        graph = radio.build_graph(positions, rng)
+        assert graph.edge_set() == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_build_graph_spatial_index_equivalence(self, rng):
+        """Grid-bucketed construction equals the brute-force O(n^2) one."""
+        from repro.network.node import distance
+
+        deploy_rng = random.Random(9)
+        positions = {
+            i: (deploy_rng.uniform(0, 8), deploy_rng.uniform(0, 8))
+            for i in range(120)
+        }
+        graph = UnitDiskRadio(1.0).build_graph(positions, rng)
+        expected = {
+            frozenset({u, v})
+            for u in positions
+            for v in positions
+            if u < v and distance(positions[u], positions[v]) <= 1.0
+        }
+        assert graph.edge_set() == expected
+
+
+class TestQuasiUnitDisk:
+    def test_certain_zone(self, rng):
+        radio = QuasiUnitDiskRadio(1.0, alpha=0.6)
+        assert radio.link_exists((0, 0), (0.5, 0), rng)
+
+    def test_forbidden_zone(self, rng):
+        radio = QuasiUnitDiskRadio(1.0, alpha=0.6)
+        assert not radio.link_exists((0, 0), (1.2, 0), rng)
+
+    def test_grey_zone_probability(self):
+        radio = QuasiUnitDiskRadio(1.0, alpha=0.5, grey_link_probability=0.5)
+        rng = random.Random(0)
+        hits = sum(
+            radio.link_exists((0, 0), (0.8, 0), rng) for __ in range(500)
+        )
+        assert 180 <= hits <= 320
+
+    def test_grey_zone_extremes(self, rng):
+        always = QuasiUnitDiskRadio(1.0, alpha=0.5, grey_link_probability=1.0)
+        never = QuasiUnitDiskRadio(1.0, alpha=0.5, grey_link_probability=0.0)
+        assert always.link_exists((0, 0), (0.9, 0), rng)
+        assert not never.link_exists((0, 0), (0.9, 0), rng)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(1.0, alpha=1.5)
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(1.0, alpha=0.5, grey_link_probability=2.0)
+
+
+class TestLogNormalShadowing:
+    def test_mean_rssi_monotone_decreasing(self):
+        radio = LogNormalShadowingRadio(rc=10.0)
+        values = [radio.mean_rssi(d) for d in (1.0, 2.0, 5.0, 9.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_hard_range_cap(self, rng):
+        radio = LogNormalShadowingRadio(rc=2.0, sensitivity_dbm=-500.0)
+        assert radio.link_exists((0, 0), (1.9, 0), rng)
+        assert not radio.link_exists((0, 0), (2.1, 0), rng)
+
+    def test_sensitivity_threshold(self):
+        radio = LogNormalShadowingRadio(
+            rc=100.0,
+            tx_power_dbm=-40.0,
+            shadowing_sigma_db=0.0,
+            sensitivity_dbm=-70.0,
+            path_loss_exponent=3.0,
+        )
+        rng = random.Random(0)
+        # -40 - 30*log10(d) >= -70  <=>  d <= 10
+        assert radio.link_exists((0, 0), (9.0, 0), rng)
+        assert not radio.link_exists((0, 0), (11.0, 0), rng)
+
+    def test_shadowing_randomises_marginal_links(self):
+        radio = LogNormalShadowingRadio(
+            rc=100.0,
+            tx_power_dbm=-40.0,
+            shadowing_sigma_db=6.0,
+            sensitivity_dbm=-70.0,
+            path_loss_exponent=3.0,
+        )
+        rng = random.Random(1)
+        outcomes = {radio.link_exists((0, 0), (10.0, 0), rng) for __ in range(60)}
+        assert outcomes == {True, False}

@@ -1,0 +1,139 @@
+"""Failure injection and coverage repair tests."""
+
+import random
+
+import pytest
+
+from repro.core.criterion import is_tau_partitionable
+from repro.core.repair import (
+    assess_failures,
+    inject_random_failures,
+    repair_coverage,
+)
+from repro.core.scheduler import dcc_schedule
+from repro.network.topologies import triangulated_grid, wheel_graph
+
+
+@pytest.fixture
+def scheduled_mesh():
+    mesh = triangulated_grid(8, 8)
+    boundary = mesh.outer_boundary
+    result = dcc_schedule(
+        mesh.graph, set(boundary), 6, rng=random.Random(0)
+    )
+    return mesh, boundary, result
+
+
+class TestAssessment:
+    def test_no_failures_survive(self, scheduled_mesh):
+        mesh, boundary, result = scheduled_mesh
+        verdict = assess_failures(result.active, [boundary], 6, [])
+        assert verdict.criterion_survived
+        assert not verdict.needs_repair
+
+    def test_boundary_failure_flagged(self, scheduled_mesh):
+        mesh, boundary, result = scheduled_mesh
+        verdict = assess_failures(result.active, [boundary], 6, [boundary[0]])
+        assert verdict.boundary_hit
+        assert verdict.needs_repair
+
+    def test_internal_failure_usually_breaks_sparse_set(self, scheduled_mesh):
+        """The scheduler's set is near non-redundant: losing an internal
+        active node typically reopens a void."""
+        mesh, boundary, result = scheduled_mesh
+        internal_active = sorted(result.coverage_set - set(boundary))
+        assert internal_active
+        broken = 0
+        for victim in internal_active[:10]:
+            verdict = assess_failures(result.active, [boundary], 6, [victim])
+            broken += verdict.needs_repair
+        assert broken > 0
+
+
+class TestRepair:
+    def test_repair_restores_criterion(self, scheduled_mesh):
+        mesh, boundary, result = scheduled_mesh
+        internal_active = sorted(result.coverage_set - set(boundary))
+        victim = internal_active[len(internal_active) // 2]
+        repaired = repair_coverage(
+            mesh.graph,
+            result.coverage_set,
+            [boundary],
+            boundary,
+            6,
+            [victim],
+            rng=random.Random(1),
+        )
+        assert repaired.restored
+        assert victim not in repaired.active
+        assert is_tau_partitionable(repaired.active, [boundary], 6)
+
+    def test_noop_when_criterion_survives(self, scheduled_mesh):
+        mesh, boundary, result = scheduled_mesh
+        # failing a node that never made the coverage set changes nothing
+        sleeper = sorted(mesh.graph.vertex_set() - result.coverage_set)[0]
+        repaired = repair_coverage(
+            mesh.graph,
+            result.coverage_set,
+            [boundary],
+            boundary,
+            6,
+            [sleeper],
+            rng=random.Random(2),
+        )
+        assert repaired.restored
+        assert repaired.woken == []
+
+    def test_boundary_death_unrepairable(self, scheduled_mesh):
+        mesh, boundary, result = scheduled_mesh
+        repaired = repair_coverage(
+            mesh.graph,
+            result.coverage_set,
+            [boundary],
+            boundary,
+            6,
+            [boundary[0]],
+            rng=random.Random(3),
+        )
+        assert not repaired.restored
+
+    def test_mass_failure_waves(self, scheduled_mesh):
+        """Repeated random failure waves stay repaired until impossible."""
+        mesh, boundary, result = scheduled_mesh
+        rng = random.Random(4)
+        full = mesh.graph
+        active = set(result.coverage_set)
+        failed_total = set()
+        for __ in range(4):
+            victims = inject_random_failures(
+                full.vertex_set() - failed_total,
+                3,
+                rng,
+                spare=set(boundary),
+            )
+            failed_total |= victims
+            repaired = repair_coverage(
+                full.induced_subgraph(full.vertex_set() - (failed_total - victims)),
+                active - (failed_total - victims),
+                [boundary],
+                boundary,
+                6,
+                victims,
+                rng=rng,
+            )
+            if not repaired.restored:
+                break
+            active = repaired.active.vertex_set()
+            assert is_tau_partitionable(repaired.active, [boundary], 6)
+
+
+class TestInjection:
+    def test_spares_are_respected(self):
+        rng = random.Random(0)
+        victims = inject_random_failures(range(10), 5, rng, spare={0, 1, 2})
+        assert victims.isdisjoint({0, 1, 2})
+        assert len(victims) == 5
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(ValueError):
+            inject_random_failures(range(3), 5, random.Random(0))

@@ -1,0 +1,139 @@
+"""Unit tests for the message-passing simulator, MIS, and DCC protocol."""
+
+import random
+
+import pytest
+
+from repro.core.vpt import deletable_vertices
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import triangulated_grid, wheel_graph
+from repro.runtime.messages import (
+    DeletePayload,
+    Message,
+    MessageKind,
+    PriorityPayload,
+)
+from repro.runtime.mis import distributed_mis
+from repro.runtime.protocol import DistributedDCC, distributed_dcc_schedule
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import RuntimeStats
+
+
+class TestSimulator:
+    def test_broadcast_reaches_neighbors_only(self):
+        g = NetworkGraph(range(3), [(0, 1)])
+        sim = Simulator(g)
+        sim.send(Message(MessageKind.TOPOLOGY, src=0, payload=None))
+        sim.step()
+        assert len(sim.inbox(1)) == 1
+        assert sim.inbox(2) == []
+        assert sim.inbox(0) == []
+
+    def test_messages_expire_after_one_round(self):
+        g = NetworkGraph(range(2), [(0, 1)])
+        sim = Simulator(g)
+        sim.send(Message(MessageKind.TOPOLOGY, src=0, payload=None))
+        sim.step()
+        sim.step()
+        assert sim.inbox(1) == []
+
+    def test_deactivated_node_stops_relaying(self):
+        g = NetworkGraph(range(3), [(0, 1), (1, 2)])
+        sim = Simulator(g)
+        sim.deactivate(1)
+        sim.send(Message(MessageKind.TOPOLOGY, src=0, payload=None))
+        sim.step()
+        assert sim.inbox(1) == [] and sim.inbox(2) == []
+
+    def test_stats_accumulate(self):
+        g = NetworkGraph(range(3), [(0, 1), (0, 2)])
+        sim = Simulator(g)
+        sim.send(Message(MessageKind.PRIORITY, src=0, payload=None))
+        sim.step()
+        assert sim.stats.rounds == 1
+        assert sim.stats.messages_sent == 1
+        assert sim.stats.messages_delivered == 2
+        assert sim.stats.messages_by_kind == {"priority": 1}
+
+
+class TestRuntimeStats:
+    def test_merge(self):
+        a, b = RuntimeStats(), RuntimeStats()
+        a.record_send("x", 3)
+        b.record_send("x", 1)
+        b.record_send("y", 2)
+        b.rounds = 4
+        a.merge(b)
+        assert a.messages_sent == 3
+        assert a.messages_delivered == 6
+        assert a.messages_by_kind == {"x": 2, "y": 1}
+        assert a.rounds == 4
+
+    def test_summary_is_readable(self):
+        stats = RuntimeStats()
+        stats.record_send("delete", 2)
+        assert "delete=1" in stats.summary()
+
+
+class TestDistributedMIS:
+    def test_winners_are_separated(self, trigrid6):
+        sim = Simulator(trigrid6.graph)
+        rng = random.Random(3)
+        winners = distributed_mis(sim, trigrid6.graph.vertices(), 3, rng)
+        assert winners
+        for i, u in enumerate(winners):
+            dist = trigrid6.graph.bfs_distances(u)
+            for v in winners[i + 1:]:
+                assert dist[v] > 3 - 1
+
+    def test_empty_candidates(self, trigrid6):
+        sim = Simulator(trigrid6.graph)
+        assert distributed_mis(sim, [], 2, random.Random(0)) == []
+
+    def test_lone_candidate_wins(self, trigrid6):
+        sim = Simulator(trigrid6.graph)
+        assert distributed_mis(sim, [7], 2, random.Random(0)) == [7]
+
+
+class TestDistributedDCC:
+    def test_wheel(self):
+        wheel = wheel_graph(6)
+        result = distributed_dcc_schedule(
+            wheel, range(6), 6, rng=random.Random(1)
+        )
+        assert result.removed == [6]
+        assert result.num_active == 6
+        assert result.stats.messages_sent > 0
+
+    def test_matches_centralized_fixpoint(self, trigrid6):
+        boundary = set(trigrid6.outer_boundary)
+        result = distributed_dcc_schedule(
+            trigrid6.graph, boundary, 6, rng=random.Random(2)
+        )
+        # valid fixpoint: nothing deletable remains
+        assert deletable_vertices(result.active, 6, exclude=boundary) == []
+
+    def test_protocol_respects_protection(self, trigrid6):
+        boundary = set(trigrid6.outer_boundary)
+        result = distributed_dcc_schedule(
+            trigrid6.graph, boundary, 6, rng=random.Random(3)
+        )
+        assert boundary <= result.active.vertex_set()
+
+    def test_local_views_learn_k_ball(self, trigrid6):
+        protocol = DistributedDCC(trigrid6.graph, [], 4, rng=random.Random(0))
+        protocol._discover_topology()
+        node = 14  # interior
+        view = protocol.views[node].as_graph()
+        ball = trigrid6.graph.k_hop_neighborhood(node, 2) | {node}
+        gamma_true = trigrid6.graph.induced_subgraph(ball)
+        for u, v in gamma_true.edges():
+            assert view.has_edge(u, v)
+
+    def test_iteration_counting(self, trigrid6):
+        boundary = set(trigrid6.outer_boundary)
+        result = distributed_dcc_schedule(
+            trigrid6.graph, boundary, 6, rng=random.Random(4)
+        )
+        assert result.iterations == result.stats.deletion_iterations
+        assert result.iterations >= 1

@@ -1,0 +1,67 @@
+"""Unit tests for deterministic shortest-path trees and LCA queries."""
+
+import pytest
+
+from repro.cycles.shortest_paths import ShortestPathTree
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import cycle_graph
+
+
+class TestShortestPathTree:
+    def test_depths_are_bfs_distances(self):
+        g = NetworkGraph(range(5), [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        spt = ShortestPathTree(g, 0)
+        assert spt.depth == {0: 0, 1: 1, 4: 1, 2: 2, 3: 2}
+
+    def test_cutoff_truncates(self):
+        g = cycle_graph(10)
+        spt = ShortestPathTree(g, 0, cutoff=2)
+        assert set(spt.parent) == {0, 1, 2, 8, 9}
+
+    def test_tie_breaking_prefers_smallest_parent(self):
+        # vertex 3 reachable at depth 2 via 1 or 2; parent must be 1
+        g = NetworkGraph(range(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+        spt = ShortestPathTree(g, 0)
+        assert spt.parent[3] == 1
+
+    def test_path_to_root(self):
+        g = NetworkGraph(range(4), [(0, 1), (1, 2), (2, 3)])
+        spt = ShortestPathTree(g, 0)
+        assert spt.path_to_root(3) == [3, 2, 1, 0]
+        assert spt.path_to_root(0) == [0]
+
+    def test_contains(self):
+        g = NetworkGraph(range(4), [(0, 1), (2, 3)])
+        spt = ShortestPathTree(g, 0)
+        assert 1 in spt and 2 not in spt
+
+
+class TestLCA:
+    def test_lca_at_root(self):
+        g = cycle_graph(6)
+        spt = ShortestPathTree(g, 0)
+        # 2 and 4 descend through different children of 0
+        assert spt.lca(2, 4) == 0
+
+    def test_lca_of_ancestor(self):
+        g = NetworkGraph(range(4), [(0, 1), (1, 2), (2, 3)])
+        spt = ShortestPathTree(g, 0)
+        assert spt.lca(1, 3) == 1
+        assert spt.lca(3, 3) == 3
+
+    def test_lca_sibling_subtrees(self):
+        g = NetworkGraph(
+            range(7), [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]
+        )
+        spt = ShortestPathTree(g, 0)
+        assert spt.lca(3, 4) == 1
+        assert spt.lca(3, 6) == 0
+
+
+class TestTreeEdges:
+    def test_is_tree_edge(self):
+        g = NetworkGraph(range(3), [(0, 1), (1, 2), (2, 0)])
+        spt = ShortestPathTree(g, 0)
+        assert spt.is_tree_edge(0, 1)
+        assert spt.is_tree_edge(0, 2)
+        assert not spt.is_tree_edge(1, 2)

@@ -1,0 +1,68 @@
+"""Unit tests for Rips complexes and fence subcomplexes."""
+
+import pytest
+
+from repro.homology.simplicial import (
+    FenceSubcomplex,
+    RipsComplex,
+    enumerate_triangles,
+)
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import cycle_graph, wheel_graph
+
+
+class TestTriangleEnumeration:
+    def test_k4_has_four_triangles(self, k4):
+        assert len(enumerate_triangles(k4)) == 4
+
+    def test_triangles_sorted_and_unique(self, k4):
+        triangles = enumerate_triangles(k4)
+        assert len(set(triangles)) == len(triangles)
+        assert all(a < b < c for a, b, c in triangles)
+
+    def test_cycle_has_no_triangles(self, c6):
+        assert enumerate_triangles(c6) == []
+
+    def test_wheel_triangles(self, wheel8):
+        assert len(enumerate_triangles(wheel8)) == 8
+
+
+class TestRipsComplex:
+    def test_counts(self, wheel8):
+        complex_ = RipsComplex.from_graph(wheel8)
+        assert complex_.num_vertices == 9
+        assert complex_.num_edges == 16
+        assert complex_.num_triangles == 8
+
+    def test_euler_characteristic_of_disk(self, wheel8):
+        # the wheel triangulates a disk: chi = 1
+        assert RipsComplex.from_graph(wheel8).euler_characteristic() == 1
+
+    def test_euler_characteristic_of_mobius(self, mobius):
+        assert RipsComplex.from_graph(mobius.graph).euler_characteristic() == 0
+
+    def test_validity(self, wheel8):
+        complex_ = RipsComplex.from_graph(wheel8)
+        assert complex_.is_valid()
+
+    def test_triangle_edges(self, k4):
+        complex_ = RipsComplex.from_graph(k4)
+        assert complex_.triangle_edges((0, 1, 2)) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestFence:
+    def test_from_cycle(self):
+        fence = FenceSubcomplex.from_cycle([0, 1, 2, 3])
+        assert fence.vertices == frozenset({0, 1, 2, 3})
+        assert (3, 0) not in fence.edges  # canonical form is (0, 3)
+        assert (0, 3) in fence.edges
+        assert len(fence.edges) == 4
+
+    def test_from_multiple_cycles(self):
+        fence = FenceSubcomplex.from_cycles([[0, 1, 2], [3, 4, 5]])
+        assert len(fence.vertices) == 6
+        assert len(fence.edges) == 6
+
+    def test_short_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            FenceSubcomplex.from_cycle([0, 1])

@@ -1,0 +1,86 @@
+"""Unit tests for the parameter-sweep infrastructure."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepResult, parameter_grid, run_sweep
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = parameter_grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_single_axis(self):
+        assert parameter_grid(tau=[3, 4]) == [{"tau": 3}, {"tau": 4}]
+
+    def test_empty(self):
+        assert parameter_grid() == [{}]
+
+
+class TestRunSweep:
+    def test_rows_merge_params_and_measurements(self):
+        def cell(tau, seed):
+            return {"size": tau * 10 + seed}
+
+        result = run_sweep(cell, parameter_grid(tau=[3, 4]), seeds=(0, 1))
+        assert len(result) == 4
+        row = result.filter(tau=3, seed=1).rows[0]
+        assert row["size"] == 31
+
+    def test_error_skip_mode(self):
+        def cell(tau, seed):
+            if tau == 4:
+                raise RuntimeError("boom")
+            return {"ok": True}
+
+        result = run_sweep(
+            cell, parameter_grid(tau=[3, 4]), on_error="skip"
+        )
+        assert len(result) == 2
+        assert "error" in result.filter(tau=4).rows[0]
+
+    def test_error_raise_mode(self):
+        def cell(tau, seed):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_sweep(cell, parameter_grid(tau=[3]))
+
+    def test_invalid_on_error(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda seed: {}, [{}], on_error="explode")
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def result(self):
+        return SweepResult(
+            rows=[
+                {"tau": 3, "seed": 0, "size": 100},
+                {"tau": 3, "seed": 1, "size": 110},
+                {"tau": 4, "seed": 0, "size": 80},
+            ]
+        )
+
+    def test_columns_preserve_order(self, result):
+        assert result.columns() == ["tau", "seed", "size"]
+
+    def test_filter_and_values(self, result):
+        assert result.filter(tau=3).values("size") == [100, 110]
+
+    def test_mean_by(self, result):
+        means = result.mean_by(["tau"], "size")
+        assert means[(3,)] == pytest.approx(105.0)
+        assert means[(4,)] == pytest.approx(80.0)
+
+    def test_csv_roundtrip(self, result, tmp_path):
+        path = tmp_path / "sweep.csv"
+        result.to_csv(str(path))
+        back = SweepResult.from_csv(str(path))
+        assert len(back) == 3
+        # CSV stringifies values
+        assert back.rows[0]["size"] == "100"
+
+    def test_len(self, result):
+        assert len(result) == 3

@@ -1,0 +1,155 @@
+"""Unit tests for the void preserving transformation (Definition 5)."""
+
+import pytest
+
+from repro.core.vpt import (
+    VoidPreservingTransformation,
+    deletable_vertices,
+    deletion_radius,
+    edge_deletable,
+    vertex_deletable,
+)
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import triangulated_grid, wheel_graph
+
+
+class TestDeletionRadius:
+    @pytest.mark.parametrize(
+        "tau,expected", [(3, 2), (4, 2), (5, 3), (6, 3), (7, 4), (9, 5)]
+    )
+    def test_ceil_tau_over_two(self, tau, expected):
+        assert deletion_radius(tau) == expected
+
+    def test_rejects_small_tau(self):
+        with pytest.raises(ValueError):
+            deletion_radius(2)
+
+
+class TestVertexDeletable:
+    def test_hub_of_wheel_is_deletable_at_rim_size(self):
+        # removing the hub leaves the rim cycle: fine iff tau >= rim length
+        wheel = wheel_graph(6)
+        assert vertex_deletable(wheel, 6, 6)
+        assert not vertex_deletable(wheel, 6, 5)
+
+    def test_isolated_vertex_deletable(self):
+        g = NetworkGraph([0, 1, 2], [(1, 2)])
+        assert vertex_deletable(g, 0, 3)
+
+    def test_pendant_vertex_deletable(self):
+        g = NetworkGraph(range(4), [(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert vertex_deletable(g, 3, 3)
+
+    def test_cut_vertex_not_deletable(self):
+        # two triangles joined only through vertex 2
+        g = NetworkGraph(
+            range(5), [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]
+        )
+        assert not vertex_deletable(g, 2, 3)
+
+    def test_interior_of_triangular_lattice_not_deletable_at_3(self):
+        mesh = triangulated_grid(5, 5)
+        center = 12  # row 2, col 2
+        # deleting it leaves a hexagonal hole of size > 3
+        assert not vertex_deletable(mesh.graph, center, 3)
+        assert vertex_deletable(mesh.graph, center, 6)
+
+    def test_redundant_apex_deletable_at_3(self):
+        # a triangle plus an apex over it: apex removal leaves the triangle
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2)]
+        )
+        assert vertex_deletable(g, 3, 3)
+
+
+class TestEdgeDeletable:
+    def test_chord_of_triangulated_square_deletable(self):
+        # square with both diagonals: one diagonal is redundant for tau=3
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]
+        )
+        assert edge_deletable(g, 0, 2, 3)
+
+    def test_bare_cycle_edge_is_technically_deletable(self):
+        # Deleting (0,1) from a bare 4-cycle leaves a path.  Any boundary
+        # whose GF(2) sum avoids (0,1) stays partitionable, so the VPT rule
+        # permits it; protecting boundary *edges* is the scheduler's job.
+        g = NetworkGraph(range(4), [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert edge_deletable(g, 0, 1, 4)
+
+    def test_edge_whose_removal_leaves_long_void_not_deletable(self):
+        # two squares sharing edge (1, 4); removing the shared edge merges
+        # them into a 6-cycle, which exceeds tau = 4
+        g = NetworkGraph(
+            range(6),
+            [(0, 1), (1, 4), (4, 5), (5, 0), (1, 2), (2, 3), (3, 4)],
+        )
+        assert not edge_deletable(g, 1, 4, 4)
+        assert edge_deletable(g, 1, 4, 6)
+
+    def test_missing_edge_raises(self):
+        g = NetworkGraph(range(3), [(0, 1)])
+        with pytest.raises(KeyError):
+            edge_deletable(g, 1, 2, 3)
+
+    def test_bridge_not_deletable(self):
+        g = NetworkGraph(
+            range(6),
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        )
+        assert not edge_deletable(g, 2, 3, 3)
+
+
+class TestTransformationObject:
+    def test_checked_deletion_applies(self):
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2)]
+        )
+        vpt = VoidPreservingTransformation(g, 3)
+        vpt.delete_vertex(3)
+        assert 3 not in vpt.graph
+        assert 3 in g  # original untouched
+        assert [step.kind for step in vpt.steps] == ["vertex"]
+
+    def test_illegal_deletion_raises(self):
+        mesh = triangulated_grid(5, 5)
+        vpt = VoidPreservingTransformation(mesh.graph, 3)
+        with pytest.raises(ValueError):
+            vpt.delete_vertex(12)
+
+    def test_try_delete_reports(self):
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2)]
+        )
+        vpt = VoidPreservingTransformation(g, 3)
+        assert vpt.try_delete_vertex(3)
+        assert not vpt.try_delete_vertex(3)  # already gone
+        mesh = triangulated_grid(5, 5)
+        lattice = VoidPreservingTransformation(mesh.graph, 3)
+        assert not lattice.try_delete_vertex(12)  # would open a 6-hole
+
+    def test_rejects_small_tau(self):
+        with pytest.raises(ValueError):
+            VoidPreservingTransformation(NetworkGraph([0]), 2)
+
+    def test_edge_deletion_step(self):
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]
+        )
+        vpt = VoidPreservingTransformation(g, 3)
+        vpt.delete_edge(0, 2)
+        assert not vpt.graph.has_edge(0, 2)
+
+
+class TestDeletableVertices:
+    def test_exclusion(self):
+        g = NetworkGraph(
+            range(4), [(0, 1), (1, 2), (2, 0), (3, 0), (3, 1), (3, 2)]
+        )
+        assert 3 in deletable_vertices(g, 3)
+        assert 3 not in deletable_vertices(g, 3, exclude={3})
+
+    def test_lattice_has_none_at_tau3(self):
+        mesh = triangulated_grid(5, 5)
+        boundary = set(mesh.outer_boundary)
+        assert deletable_vertices(mesh.graph, 3, exclude=boundary) == []
