@@ -78,6 +78,7 @@ from repro.network.radio import (
     UnitDiskRadio,
 )
 from repro.runtime import DistributedDCC, distributed_dcc_schedule
+from repro.topology import LocalTopologyEngine, TopologyCounters
 from repro.traces import GreenOrbsConfig, generate_greenorbs_trace
 
 __version__ = "0.1.0"
@@ -88,6 +89,7 @@ __all__ = [
     "DistributedDCC",
     "EdgeIndex",
     "GreenOrbsConfig",
+    "LocalTopologyEngine",
     "LogNormalShadowingRadio",
     "Network",
     "NetworkGraph",
@@ -96,6 +98,7 @@ __all__ = [
     "RipsComplex",
     "ScheduleResult",
     "ShortCycleSpan",
+    "TopologyCounters",
     "UnitDiskRadio",
     "betti_numbers",
     "blanket_sensing_ratio_threshold",

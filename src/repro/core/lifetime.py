@@ -19,10 +19,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.core.criterion import VertexCycle, is_tau_partitionable
-from repro.core.scheduler import DeletabilityCache, ScheduleResult
+from repro.core.criterion import VertexCycle
+from repro.core.scheduler import ScheduleResult
 from repro.network.energy import EnergyModel, EnergyState
 from repro.network.graph import NetworkGraph
+from repro.topology import LocalTopologyEngine
 
 
 def energy_aware_schedule(
@@ -31,6 +32,8 @@ def energy_aware_schedule(
     tau: int,
     residual: Dict[int, float],
     rng: Optional[random.Random] = None,
+    seed: int = 0,
+    engine: Optional[LocalTopologyEngine] = None,
 ) -> ScheduleResult:
     """DCC scheduling that sends the lowest-energy nodes to sleep first.
 
@@ -39,14 +42,22 @@ def energy_aware_schedule(
     randomly).  The fixed point is still a maximal deletion under the same
     VPT rule, so all correctness properties of :func:`dcc_schedule` carry
     over; the bias only redistributes which redundant nodes rest.
+
+    A prebuilt ``engine`` (e.g. a fork of the rotation's persistent engine)
+    is consumed in place, inheriting still-valid deletability verdicts from
+    earlier shifts; otherwise a fresh engine is built on a copy of
+    ``graph``.  Reproducible by default (``random.Random(seed)``).
     """
-    rng = rng or random.Random()
-    work = graph.copy()
+    rng = rng if rng is not None else random.Random(seed)
+    if engine is None:
+        engine = LocalTopologyEngine(graph.copy(), tau)
+    elif engine.tau != tau:
+        raise ValueError("engine was built for a different tau")
+    work = engine.graph
     protected_set = set(protected)
     missing = protected_set - work.vertex_set()
     if missing:
         raise KeyError(f"protected nodes not in graph: {sorted(missing)[:5]}")
-    cache = DeletabilityCache(work, tau)
     removed: List[int] = []
     deletions_per_round: List[int] = []
 
@@ -54,15 +65,14 @@ def energy_aware_schedule(
         candidates = [
             v
             for v in work.vertices()
-            if v not in protected_set and cache.deletable(v)
+            if v not in protected_set and engine.deletable(v)
         ]
         if not candidates:
             break
         victim = min(
             candidates, key=lambda v: (residual.get(v, 0.0), rng.random())
         )
-        cache.invalidate_ball(victim)
-        work.remove_vertex(victim)
+        engine.delete_vertex(victim)
         removed.append(victim)
         deletions_per_round.append(1)
 
@@ -72,7 +82,8 @@ def energy_aware_schedule(
         tau=tau,
         rounds=len(deletions_per_round),
         deletions_per_round=deletions_per_round,
-        deletability_tests=cache.tests,
+        deletability_tests=engine.counters.deletability_tests,
+        counters=engine.counters,
     )
 
 
@@ -128,6 +139,7 @@ def rotation_simulation(
     max_shifts: int = 10_000,
     boundary_immortal: bool = True,
     record_every: int = 1,
+    seed: int = 0,
 ) -> LifetimeReport:
     """Simulate rotating coverage shifts until coverage collapses.
 
@@ -139,24 +151,31 @@ def rotation_simulation(
 
     ``boundary_immortal`` models mains-powered or battery-swapped perimeter
     nodes; with it off, the perimeter's own duty bounds the lifetime.
+
+    One :class:`LocalTopologyEngine` persists over the alive graph for the
+    whole simulation: node deaths invalidate only their dirty region, the
+    per-shift criterion check reuses the version-cached full-graph span,
+    and each shift's scheduler runs on a fork that inherits still-valid
+    deletability verdicts from previous shifts.
     """
     model = model or EnergyModel()
-    rng = rng or random.Random()
+    rng = rng if rng is not None else random.Random(seed)
     protected_set = set(protected)
     energy = EnergyState(graph.vertices(), model)
-    work = graph.copy()
+    alive = LocalTopologyEngine(graph.copy(), tau)
+    work = alive.graph
 
     report = LifetimeReport(
         shifts_survived=0,
         always_on_shifts=model.always_on_shifts,
     )
     for shift in range(1, max_shifts + 1):
-        if not is_tau_partitionable(work, boundary_cycles, tau):
+        if not alive.boundary_partitionable(boundary_cycles):
             report.cause_of_death = "criterion lost"
             break
         schedule = energy_aware_schedule(
             work, protected_set & work.vertex_set(), tau,
-            energy.residual, rng=rng,
+            energy.residual, rng=rng, engine=alive.fork(),
         )
         active = schedule.active.vertex_set()
         died = energy.drain_shift(active)
@@ -185,7 +204,7 @@ def rotation_simulation(
             break
         for node in died:
             if node in work:
-                work.remove_vertex(node)
+                alive.delete_vertex(node)
     else:
         report.cause_of_death = "max shifts reached"
     return report

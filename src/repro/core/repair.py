@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.scheduler import dcc_schedule
 from repro.network.graph import NetworkGraph
+from repro.topology import LocalTopologyEngine
 
 
 @dataclass
@@ -76,6 +77,7 @@ def repair_coverage(
     tau: int,
     failed: Iterable[int],
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> RepairResult:
     """Restore tau-confine coverage after ``failed`` nodes die.
 
@@ -85,8 +87,13 @@ def repair_coverage(
     Returns ``restored=False`` when even waking every sleeper cannot
     satisfy the criterion (e.g. a boundary node died, or the failures tore
     a hole no surviving node can stitch).
+
+    The feasibility check and the repair schedule share one
+    :class:`LocalTopologyEngine` on the alive graph, so the criterion's
+    cycle-space work is not recomputed by the scheduler.  Reproducible by
+    default (``random.Random(seed)``).
     """
-    rng = rng or random.Random()
+    rng = rng if rng is not None else random.Random(seed)
     failed_set = set(failed)
     protected_set = set(protected) - failed_set
     survivors_all = full_graph.vertex_set() - failed_set
@@ -108,15 +115,16 @@ def repair_coverage(
         )
 
     # Even with every sleeper awake the criterion may be gone for good.
-    if assessment_active.boundary_hit or not is_tau_partitionable(
-        alive_graph, boundary_cycles, tau
+    engine = LocalTopologyEngine(alive_graph, tau)
+    if assessment_active.boundary_hit or not engine.boundary_partitionable(
+        boundary_cycles
     ):
         return RepairResult(
             restored=False, woken=[], active=None, assessment=assessment_active
         )
 
     keep_on = (active_survivors | protected_set) & survivors_all
-    schedule = dcc_schedule(alive_graph, keep_on, tau, rng=rng)
+    schedule = dcc_schedule(alive_graph, keep_on, tau, rng=rng, engine=engine)
     woken = sorted(schedule.coverage_set - active_survivors - protected_set)
     return RepairResult(
         restored=True,

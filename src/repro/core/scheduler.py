@@ -5,30 +5,40 @@ size ``tau``, the scheduler repeatedly deletes internal vertices that pass
 the void-preserving test (Definition 5) until none remains deletable.  Two
 execution modes produce the same *kind* of fixed point:
 
-* ``parallel`` — the paper's round structure: every still-deletable internal
-  node becomes a candidate, an m-hop MIS (``m = ceil(tau/2) + 1``) of the
-  candidates is selected at random, and all MIS members delete themselves
-  simultaneously.  Nodes at pairwise distance >= m have disjoint deletion
-  neighbourhoods, so the parallel round is equivalent to some sequential
-  order.
-* ``sequential`` — a centralized emulation that deletes one random deletable
-  vertex at a time; cheaper in total work, used for large simulations.
+* ``parallel`` — the paper's round structure: an m-hop MIS
+  (``m = ceil(tau/2) + 1``) of the deletable internal nodes is selected at
+  random, and all MIS members delete themselves simultaneously.  Nodes at
+  pairwise distance >= m have disjoint deletion neighbourhoods, so the
+  parallel round is equivalent to some sequential order.  The MIS is drawn
+  lazily: vertices are visited in a random priority order, and a vertex
+  already inside a winner's separation ball is skipped *without* the
+  expensive deletability test (it cannot join the MIS regardless).  The
+  induced order on the deletable set is still a uniform permutation, so the
+  winner-set distribution matches the eager draw exactly.
+* ``sequential`` — a centralized emulation that deletes one uniformly random
+  deletable vertex at a time; cheaper in total work, used for large
+  simulations.  The victim is drawn lazily: vertices are visited in a random
+  order and the first deletable one is removed, which is the same uniform
+  distribution over the deletable set but skips testing the vertices behind
+  the winner — repeated invalidations of a vertex coalesce into a single
+  retest instead of one per deletion.
 
-Deletability results are cached per vertex and invalidated only inside the
-k-ball of each deletion (a deletion cannot change ``Gamma^k`` of vertices
-farther than ``k`` hops away, because no path through the deleted vertex
-realises a distance <= k for them).
+All local-topology work (k-ball extraction, deletability verdicts, MIS
+separation balls) runs through a :class:`repro.topology.LocalTopologyEngine`,
+which caches results and invalidates only the dirty region of each deletion.
+The engine's instrumentation counters ride on :class:`ScheduleResult`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.criterion import VertexCycle, is_tau_partitionable
-from repro.core.vpt import deletion_radius, vertex_deletable
+from repro.core.vpt import deletion_radius
 from repro.network.graph import NetworkGraph
+from repro.topology import LocalTopologyEngine, TopologyCounters
 
 
 @dataclass
@@ -41,6 +51,7 @@ class ScheduleResult:
     rounds: int
     deletions_per_round: List[int] = field(default_factory=list)
     deletability_tests: int = 0
+    counters: Optional[TopologyCounters] = None
 
     @property
     def coverage_set(self) -> Set[int]:
@@ -55,54 +66,30 @@ class ScheduleResult:
         return len(self.removed)
 
 
-class DeletabilityCache:
-    """Memoised vertex-deletability with k-ball invalidation."""
-
-    def __init__(self, graph: NetworkGraph, tau: int) -> None:
-        self._graph = graph
-        self._tau = tau
-        self._radius = deletion_radius(tau)
-        self._cache: Dict[int, bool] = {}
-        self.tests = 0
-
-    def deletable(self, v: int) -> bool:
-        cached = self._cache.get(v)
-        if cached is not None:
-            return cached
-        result = vertex_deletable(self._graph, v, self._tau)
-        self.tests += 1
-        self._cache[v] = result
-        return result
-
-    def invalidate_ball(self, center: int) -> None:
-        """Invalidate cached results within k hops of ``center``.
-
-        Must be called *before* ``center`` is removed from the graph, while
-        its ball is still reachable.
-        """
-        for v in self._graph.k_hop_neighborhood(center, self._radius):
-            self._cache.pop(v, None)
-        self._cache.pop(center, None)
-
-
 def mis_by_distance(
     graph: NetworkGraph,
     candidates: Sequence[int],
     min_separation: int,
     rng: random.Random,
+    engine: Optional[LocalTopologyEngine] = None,
 ) -> List[int]:
     """A maximal set of candidates at pairwise hop distance >= min_separation.
 
     Emulates the distributed random-priority MIS: candidates are visited in
     a random order (the priority draw) and join the set when no earlier
-    member lies within ``min_separation - 1`` hops.
+    member lies within ``min_separation - 1`` hops.  With an ``engine``, the
+    separation balls are served from its cache and survive across rounds —
+    only candidates near a previous round's deletions are re-extracted.
     """
     order = list(candidates)
     rng.shuffle(order)
     selected: Set[int] = set()
     out: List[int] = []
     for v in order:
-        ball = graph.bfs_distances(v, cutoff=min_separation - 1)
+        if engine is not None:
+            ball = engine.ball(v, min_separation - 1)
+        else:
+            ball = graph.bfs_distances(v, cutoff=min_separation - 1)
         if selected.isdisjoint(ball):
             selected.add(v)
             out.append(v)
@@ -115,6 +102,8 @@ def dcc_schedule(
     tau: int,
     rng: Optional[random.Random] = None,
     mode: str = "parallel",
+    seed: int = 0,
+    engine: Optional[LocalTopologyEngine] = None,
 ) -> ScheduleResult:
     """Compute a sparse tau-confine coverage set by maximal vertex deletion.
 
@@ -123,35 +112,66 @@ def dcc_schedule(
     by Theorem 5 its boundary is still tau-partitionable whenever the input
     boundary was, and by Theorem 6 the set is non-redundant when the input
     graph's irreducible cycles are bounded by ``tau``.
+
+    Runs are reproducible by default: without an explicit ``rng`` the
+    scheduler uses ``random.Random(seed)`` (``seed=0``).  ``graph`` is never
+    mutated unless a prebuilt ``engine`` is supplied, in which case the
+    engine's graph is consumed in place (that is the point: callers like
+    boundary repair share one engine across criterion checks and
+    scheduling).
     """
     if mode not in ("parallel", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
-    rng = rng or random.Random()
-    work = graph.copy()
+    rng = rng if rng is not None else random.Random(seed)
+    if engine is None:
+        engine = LocalTopologyEngine(graph.copy(), tau)
+    elif engine.tau != tau:
+        raise ValueError("engine was built for a different tau")
+    work = engine.graph
     protected_set = set(protected)
     missing = protected_set - work.vertex_set()
     if missing:
         raise KeyError(f"protected nodes not in graph: {sorted(missing)[:5]}")
-    cache = DeletabilityCache(work, tau)
     removed: List[int] = []
     deletions_per_round: List[int] = []
     separation = deletion_radius(tau) + 1
 
     while True:
-        candidates = [
-            v
-            for v in work.vertices()
-            if v not in protected_set and cache.deletable(v)
-        ]
-        if not candidates:
-            break
         if mode == "parallel":
-            batch = mis_by_distance(work, candidates, separation, rng)
+            # Lazy MIS: one random priority order over the internal
+            # vertices; a vertex blocked by an earlier winner skips the
+            # deletability test entirely.  A blocked vertex can never be
+            # selected and never blocks anyone else, so the winners are
+            # exactly the greedy MIS over the induced (uniform) order on
+            # the deletable set — the eager candidates-then-MIS draw's
+            # distribution, minus its wasted span tests.
+            order = [v for v in work.vertices() if v not in protected_set]
+            rng.shuffle(order)
+            selected: Set[int] = set()
+            batch = []
+            for v in order:
+                ball = engine.ball(v, separation - 1)
+                if not selected.isdisjoint(ball):
+                    continue
+                if engine.deletable(v):
+                    selected.add(v)
+                    batch.append(v)
+            if not batch:
+                break
         else:
-            batch = [candidates[rng.randrange(len(candidates))]]
+            # Lazy uniform draw: the first deletable vertex of a uniformly
+            # random permutation is uniform over the deletable set.
+            order = [v for v in work.vertices() if v not in protected_set]
+            rng.shuffle(order)
+            batch = []
+            for v in order:
+                if engine.deletable(v):
+                    batch.append(v)
+                    break
+            if not batch:
+                break
         for v in batch:
-            cache.invalidate_ball(v)
-            work.remove_vertex(v)
+            engine.delete_vertex(v)
             removed.append(v)
         deletions_per_round.append(len(batch))
 
@@ -161,7 +181,8 @@ def dcc_schedule(
         tau=tau,
         rounds=len(deletions_per_round),
         deletions_per_round=deletions_per_round,
-        deletability_tests=cache.tests,
+        deletability_tests=engine.counters.deletability_tests,
+        counters=engine.counters,
     )
 
 

@@ -14,37 +14,42 @@ cheaper) spanning test of :class:`repro.cycles.ShortCycleSpan`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph
+from repro.topology import (
+    LocalTopologyEngine,
+    neighborhood_radius,
+    punctured_deletable,
+)
 
 
 def deletion_radius(tau: int) -> int:
     """The neighbourhood radius ``k = ceil(tau / 2)`` of Definition 5."""
-    if tau < 3:
-        raise ValueError("confine size must be at least 3")
-    return math.ceil(tau / 2)
+    return neighborhood_radius(tau)
 
 
-def vertex_deletable(graph: NetworkGraph, v: int, tau: int) -> bool:
+def vertex_deletable(
+    graph: NetworkGraph,
+    v: int,
+    tau: int,
+    engine: Optional[LocalTopologyEngine] = None,
+) -> bool:
     """Can ``v`` be removed by a tau-void-preserving transformation?
 
     The test uses only the connectivity of the k-hop neighbourhood of
     ``v`` — exactly the information a node can gather locally in a
-    distributed execution.
+    distributed execution.  Pass an ``engine`` built on ``graph`` to get
+    cached, incrementally-invalidated verdicts; without one, the test is
+    a one-shot copy-free computation.
     """
-    k = deletion_radius(tau)
-    neighborhood = graph.k_hop_neighborhood(v, k)
-    if not neighborhood:
-        # An isolated vertex supports no cycles; removing it is harmless.
-        return True
-    gamma = graph.induced_subgraph(neighborhood)
-    if not gamma.is_connected():
-        return False
-    return ShortCycleSpan(gamma, tau).spans_cycle_space()
+    if engine is not None:
+        if engine.graph is not graph or engine.tau != tau:
+            raise ValueError("engine was built for a different graph or tau")
+        return engine.deletable(v)
+    return punctured_deletable(graph, v, tau)
 
 
 def edge_deletable(graph: NetworkGraph, u: int, v: int, tau: int) -> bool:
@@ -80,9 +85,12 @@ class TransformationStep:
 class VoidPreservingTransformation:
     """A checked, replayable sequence of void-preserving deletions.
 
-    Wraps a working copy of the input graph; every requested deletion is
-    validated against Definition 5 before it is applied, so any reachable
-    state of :attr:`graph` preserves boundary tau-partitionability.
+    Wraps a working copy of the input graph behind a
+    :class:`LocalTopologyEngine`; every requested deletion is validated
+    against Definition 5 before it is applied, so any reachable state of
+    :attr:`graph` preserves boundary tau-partitionability.  Deletability
+    caches survive between steps and only the dirty region of each
+    deletion is re-examined.
     """
 
     graph: NetworkGraph
@@ -92,14 +100,19 @@ class VoidPreservingTransformation:
     def __post_init__(self) -> None:
         if self.tau < 3:
             raise ValueError("confine size must be at least 3")
-        self.graph = self.graph.copy()
+        self._engine = LocalTopologyEngine(self.graph.copy(), self.tau)
+        self.graph = self._engine.graph
+
+    @property
+    def engine(self) -> LocalTopologyEngine:
+        return self._engine
 
     def delete_vertex(self, v: int) -> None:
-        if not vertex_deletable(self.graph, v, self.tau):
+        if not self._engine.deletable(v):
             raise ValueError(
                 f"vertex {v} is not {self.tau}-void-preserving deletable"
             )
-        self.graph.remove_vertex(v)
+        self._engine.delete_vertex(v)
         self.steps.append(TransformationStep("vertex", (v,)))
 
     def delete_edge(self, u: int, v: int) -> None:
@@ -107,14 +120,14 @@ class VoidPreservingTransformation:
             raise ValueError(
                 f"edge ({u}, {v}) is not {self.tau}-void-preserving deletable"
             )
-        self.graph.remove_edge(u, v)
+        self._engine.delete_edge(u, v)
         self.steps.append(TransformationStep("edge", (u, v)))
 
     def try_delete_vertex(self, v: int) -> bool:
         """Delete ``v`` if permitted; report whether it happened."""
-        if v not in self.graph or not vertex_deletable(self.graph, v, self.tau):
+        if v not in self.graph or not self._engine.deletable(v):
             return False
-        self.graph.remove_vertex(v)
+        self._engine.delete_vertex(v)
         self.steps.append(TransformationStep("vertex", (v,)))
         return True
 
@@ -123,11 +136,12 @@ def deletable_vertices(
     graph: NetworkGraph,
     tau: int,
     exclude: Optional[Set[int]] = None,
+    engine: Optional[LocalTopologyEngine] = None,
 ) -> List[int]:
     """All vertices currently deletable under the tau-VPT rule."""
     exclude = exclude or set()
     return [
         v
         for v in sorted(graph.vertices())
-        if v not in exclude and vertex_deletable(graph, v, tau)
+        if v not in exclude and vertex_deletable(graph, v, tau, engine=engine)
     ]

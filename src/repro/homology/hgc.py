@@ -109,6 +109,7 @@ def hgc_schedule(
     rng: Optional[random.Random] = None,
     max_passes: int = 8,
     require_verified: bool = False,
+    seed: int = 0,
 ) -> HGCScheduleResult:
     """Greedy centralized node removal preserving the homology invariant.
 
@@ -117,9 +118,10 @@ def hgc_schedule(
     that verifies stays verified, and a network with pre-existing raster
     holes never grows new ones); stops at a fixed point.  With
     ``require_verified=True`` the input must pass :func:`hgc_verify`
-    outright, as in the idealised setting of Ghrist et al.
+    outright, as in the idealised setting of Ghrist et al.  Reproducible
+    by default: without an explicit ``rng``, uses ``random.Random(seed)``.
     """
-    rng = rng or random.Random()
+    rng = rng if rng is not None else random.Random(seed)
     work = graph.copy()
     protected_set = set(protected)
     initial = hgc_verify(work, boundary_cycles)

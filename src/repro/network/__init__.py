@@ -1,6 +1,13 @@
 """Network substrate: graphs, deployments, radio models."""
 
 from repro.network.energy import EnergyModel, EnergyState
-from repro.network.graph import Edge, NetworkGraph, canonical_edge
+from repro.network.graph import Edge, NetworkGraph, SubgraphView, canonical_edge
 
-__all__ = ["Edge", "EnergyModel", "EnergyState", "NetworkGraph", "canonical_edge"]
+__all__ = [
+    "Edge",
+    "EnergyModel",
+    "EnergyState",
+    "NetworkGraph",
+    "SubgraphView",
+    "canonical_edge",
+]

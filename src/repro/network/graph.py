@@ -27,10 +27,12 @@ class NetworkGraph:
 
     Vertices are hashable identifiers (node ids are plain ``int`` in this
     library).  The structure is mutable; the coverage scheduler removes
-    vertices as it thins the network.
+    vertices as it thins the network.  Every mutation bumps :attr:`version`,
+    which lets caches layered on top (notably
+    :class:`repro.topology.LocalTopologyEngine`) detect staleness cheaply.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_version")
 
     def __init__(
         self,
@@ -38,10 +40,16 @@ class NetworkGraph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: Dict[int, Set[int]] = {}
+        self._version = 0
         for v in vertices:
             self.add_vertex(v)
         for u, v in edges:
             self.add_edge(u, v)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -72,12 +80,14 @@ class NetworkGraph:
     # ------------------------------------------------------------------
     def add_vertex(self, v: int) -> None:
         self._adj.setdefault(v, set())
+        self._version += 1
 
     def add_edge(self, u: int, v: int) -> None:
         if u == v:
             raise ValueError("self-loops are not allowed")
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         try:
@@ -85,14 +95,18 @@ class NetworkGraph:
             self._adj[v].remove(u)
         except KeyError as exc:
             raise KeyError(f"edge ({u}, {v}) not in graph") from exc
+        self._version += 1
 
-    def remove_vertex(self, v: int) -> None:
+    def remove_vertex(self, v: int) -> Set[int]:
+        """Delete ``v`` in place; returns its former neighbour set."""
         try:
             nbrs = self._adj.pop(v)
         except KeyError as exc:
             raise KeyError(f"vertex {v} not in graph") from exc
         for u in nbrs:
             self._adj[u].discard(v)
+        self._version += 1
+        return nbrs
 
     def remove_vertices(self, vs: Iterable[int]) -> None:
         for v in vs:
@@ -185,6 +199,18 @@ class NetworkGraph:
         sub._adj = {v: self._adj[v] & keep for v in keep}
         return sub
 
+    def subgraph_view(self, vs: Iterable[int]) -> "SubgraphView":
+        """A read-only induced-subgraph *view* (no adjacency copy).
+
+        Rows are intersected with the kept vertex set lazily and cached, so
+        a consumer that reads only part of the subgraph never pays for the
+        rest.  The view snapshots nothing: it reflects the base graph at the
+        moment rows are first materialised, so it must not outlive mutations
+        of the base graph (:class:`repro.topology.LocalTopologyEngine`
+        enforces this with :attr:`version`).
+        """
+        return SubgraphView(self, vs)
+
     def punctured_neighborhood_graph(self, v: int, k: int) -> "NetworkGraph":
         """The paper's :math:`\\Gamma^k_H(v) = H[N^k_H(v)]` (excludes ``v``)."""
         return self.induced_subgraph(self.k_hop_neighborhood(v, k))
@@ -234,3 +260,117 @@ class NetworkGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NetworkGraph(|V|={len(self)}, |E|={self.num_edges()})"
+
+
+class SubgraphView:
+    """Read-only induced subgraph over a base :class:`NetworkGraph`.
+
+    Implements the query/traversal surface of :class:`NetworkGraph` (the
+    duck type consumed by the cycle-space code) without copying adjacency:
+    rows are intersected with the kept set on first access and cached.
+    """
+
+    __slots__ = ("_base", "_keep", "_rows")
+
+    def __init__(self, base: NetworkGraph, vs: Iterable[int]) -> None:
+        keep = set(vs)
+        missing = keep - set(base._adj)
+        if missing:
+            raise KeyError(f"vertices not in graph: {sorted(missing)[:5]}")
+        self._base = base
+        self._keep = keep
+        self._rows: Dict[int, Set[int]] = {}
+
+    # -- queries -------------------------------------------------------
+    def __contains__(self, v: int) -> bool:
+        return v in self._keep
+
+    def __len__(self) -> int:
+        return len(self._keep)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keep)
+
+    def neighbors(self, v: int) -> Set[int]:
+        row = self._rows.get(v)
+        if row is None:
+            if v not in self._keep:
+                raise KeyError(f"vertex {v} not in view")
+            row = self._base._adj[v] & self._keep
+            self._rows[v] = row
+        return row
+
+    def degree(self, v: int) -> int:
+        return len(self.neighbors(v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._keep and v in self._keep and self._base.has_edge(u, v)
+
+    def vertices(self) -> List[int]:
+        return list(self._keep)
+
+    def vertex_set(self) -> Set[int]:
+        return set(self._keep)
+
+    def edges(self) -> List[Edge]:
+        out: List[Edge] = []
+        for u in self._keep:
+            for v in self.neighbors(u):
+                if u < v:
+                    out.append((u, v))
+        return out
+
+    def num_edges(self) -> int:
+        return sum(len(self.neighbors(v)) for v in self._keep) // 2
+
+    # -- traversal (mirrors NetworkGraph) ------------------------------
+    def bfs_distances(
+        self, source: int, cutoff: Optional[int] = None
+    ) -> Dict[int, int]:
+        if source not in self._keep:
+            raise KeyError(f"vertex {source} not in view")
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            d = dist[u]
+            if cutoff is not None and d >= cutoff:
+                continue
+            for w in self.neighbors(u):
+                if w not in dist:
+                    dist[w] = d + 1
+                    frontier.append(w)
+        return dist
+
+    def is_connected(self) -> bool:
+        if not self._keep:
+            return True
+        start = next(iter(self._keep))
+        return len(self.bfs_distances(start)) == len(self._keep)
+
+    def connected_components(self) -> List[Set[int]]:
+        seen: Set[int] = set()
+        comps: List[Set[int]] = []
+        for v in self._keep:
+            if v in seen:
+                continue
+            comp = set(self.bfs_distances(v))
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    def to_graph(self) -> NetworkGraph:
+        """Materialise the view as an independent :class:`NetworkGraph`."""
+        return self._base.induced_subgraph(self._keep)
+
+    def signature(self) -> Tuple[Tuple[int, ...], Tuple[Edge, ...]]:
+        """Canonical content key: sorted vertices and sorted edges.
+
+        Two views with equal signatures denote the same labelled subgraph,
+        so any pure function of the subgraph (connectivity, short-cycle
+        span, ...) can be memoised on it.
+        """
+        return tuple(sorted(self._keep)), tuple(sorted(self.edges()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubgraphView(|V|={len(self)})"

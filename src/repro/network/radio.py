@@ -37,14 +37,17 @@ class RadioModel(ABC):
         self,
         positions: Dict[int, Position],
         rng: Optional[random.Random] = None,
+        seed: int = 0,
     ) -> NetworkGraph:
         """Connectivity graph of a deployment under this radio model.
 
         Uses a uniform grid spatial index so only node pairs within ``Rc``
         of each other are tested, which keeps graph construction near
-        linear in the number of nodes.
+        linear in the number of nodes.  Stochastic radio models are
+        reproducible by default: without an explicit ``rng``, uses
+        ``random.Random(seed)``.
         """
-        rng = rng or random.Random()
+        rng = rng if rng is not None else random.Random(seed)
         graph = NetworkGraph(positions.keys())
         cell = self.rc
         buckets: Dict[Tuple[int, int], list] = {}

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.vpt import deletion_radius, vertex_deletable
+from repro.core.vpt import deletion_radius
 from repro.network.graph import NetworkGraph
 from repro.runtime.messages import (
     DeletePayload,
@@ -30,6 +30,7 @@ from repro.runtime.messages import (
 from repro.runtime.mis import distributed_mis
 from repro.runtime.simulator import Simulator
 from repro.runtime.stats import RuntimeStats
+from repro.topology import LocalTopologyEngine, SpanMemo, TopologyCounters
 
 
 @dataclass
@@ -47,12 +48,29 @@ class DistributedResult:
 
 
 class _LocalView:
-    """What one node knows: adjacency rows learned through gossip."""
+    """What one node knows: adjacency rows learned through gossip.
 
-    __slots__ = ("adjacency",)
+    A thin adapter over a per-node :class:`LocalTopologyEngine`: the rows
+    feed an incrementally-maintained local graph, and the node's
+    deletability verdict is served by the engine's caches — it is only
+    recomputed after a deletion inside the node's own k-ball, instead of
+    once per protocol iteration.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("adjacency", "_engine")
+
+    def __init__(
+        self,
+        tau: Optional[int] = None,
+        counters: Optional[TopologyCounters] = None,
+        span_memo: Optional[SpanMemo] = None,
+    ) -> None:
         self.adjacency: Dict[int, FrozenSet[int]] = {}
+        self._engine: Optional[LocalTopologyEngine] = None
+        if tau is not None:
+            self._engine = LocalTopologyEngine(
+                NetworkGraph(), tau, counters=counters, span_memo=span_memo
+            )
 
     def merge(self, rows: Tuple[Tuple[int, FrozenSet[int]], ...]) -> bool:
         changed = False
@@ -60,6 +78,12 @@ class _LocalView:
             if node not in self.adjacency:
                 self.adjacency[node] = nbrs
                 changed = True
+                if self._engine is not None:
+                    self._engine.add_vertex(node)
+                    for u in nbrs:
+                        if not self._engine.graph.has_edge(node, u):
+                            self._engine.add_vertex(u)
+                            self._engine.add_edge(node, u)
         return changed
 
     def forget(self, node: int) -> None:
@@ -68,8 +92,18 @@ class _LocalView:
             v: nbrs - {node} if node in nbrs else nbrs
             for v, nbrs in self.adjacency.items()
         }
+        if self._engine is not None and node in self._engine.graph:
+            self._engine.delete_vertex(node)
+
+    def deletable(self, node: int) -> bool:
+        """Definition 5 verdict for ``node`` within this local view."""
+        if self._engine is None:
+            raise ValueError("view was built without a confine size")
+        return self._engine.deletable(node)
 
     def as_graph(self) -> NetworkGraph:
+        if self._engine is not None:
+            return self._engine.graph
         graph = NetworkGraph()
         known = set(self.adjacency)
         for v, nbrs in self.adjacency.items():
@@ -93,15 +127,21 @@ class DistributedDCC:
         tau: int,
         rng: Optional[random.Random] = None,
         max_iterations: int = 10_000,
+        seed: int = 0,
     ) -> None:
         self.sim = Simulator(graph)
         self.protected = set(protected)
         self.tau = tau
         self.k = deletion_radius(tau)
         self.m = self.k + 1
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else random.Random(seed)
         self.max_iterations = max_iterations
         self.views: Dict[int, _LocalView] = {}
+        # One counters object and one span memo shared by every node's
+        # engine: accounting aggregates into the run's RuntimeStats, and
+        # identical punctured neighbourhoods across nodes share verdicts.
+        self.counters = self.sim.stats.topology
+        self.span_memo = SpanMemo()
 
     # ------------------------------------------------------------------
     def run(self) -> DistributedResult:
@@ -137,8 +177,10 @@ class DistributedDCC:
         """
         sim = self.sim
         for node in sim.active:
-            view = _LocalView()
-            view.adjacency[node] = frozenset(sim.graph.neighbors(node))
+            view = _LocalView(
+                self.tau, counters=self.counters, span_memo=self.span_memo
+            )
+            view.merge(((node, frozenset(sim.graph.neighbors(node))),))
             self.views[node] = view
         for __ in range(self.k):
             for node in sim.active:
@@ -158,15 +200,20 @@ class DistributedDCC:
                         view.merge(message.payload.adjacency)
 
     def _local_candidates(self) -> List[int]:
-        """Nodes that decide — from their own view — they are deletable."""
+        """Nodes that decide — from their own view — they are deletable.
+
+        The verdicts come from each node's engine cache: a node whose
+        k-ball saw no deletion since its last test answers without any
+        recomputation.
+        """
         out: List[int] = []
         for node in sorted(self.sim.active):
             if node in self.protected:
                 continue
-            local = self.views[node].as_graph()
-            if node not in local:
+            view = self.views[node]
+            if node not in view.as_graph():
                 continue
-            if vertex_deletable(local, node, self.tau):
+            if view.deletable(node):
                 out.append(node)
         return out
 
@@ -211,6 +258,11 @@ def distributed_dcc_schedule(
     protected: Iterable[int],
     tau: int,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> DistributedResult:
-    """Convenience wrapper: run the full distributed DCC protocol."""
-    return DistributedDCC(graph, protected, tau, rng=rng).run()
+    """Convenience wrapper: run the full distributed DCC protocol.
+
+    Reproducible by default: without an explicit ``rng`` the run uses
+    ``random.Random(seed)``.
+    """
+    return DistributedDCC(graph, protected, tau, rng=rng, seed=seed).run()

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.topology import TopologyCounters
+
 
 @dataclass
 class RuntimeStats:
@@ -15,6 +17,8 @@ class RuntimeStats:
     messages_delivered: int = 0
     messages_by_kind: Dict[str, int] = field(default_factory=dict)
     deletion_iterations: int = 0
+    #: aggregated local-topology work across every node's engine
+    topology: TopologyCounters = field(default_factory=TopologyCounters)
 
     def record_send(self, kind: str, deliveries: int) -> None:
         self.messages_sent += 1
@@ -30,6 +34,7 @@ class RuntimeStats:
             self.messages_by_kind[kind] = (
                 self.messages_by_kind.get(kind, 0) + count
             )
+        self.topology.merge(other.topology)
 
     def summary(self) -> str:
         kinds = ", ".join(
@@ -37,5 +42,6 @@ class RuntimeStats:
         )
         return (
             f"rounds={self.rounds} sent={self.messages_sent} "
-            f"delivered={self.messages_delivered} [{kinds}]"
+            f"delivered={self.messages_delivered} [{kinds}] | "
+            f"{self.topology.summary()}"
         )

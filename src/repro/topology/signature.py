@@ -1,0 +1,54 @@
+"""Canonical subgraph signatures and the span-verdict memo.
+
+The deletability verdict of Definition 5 is a pure function of the
+labelled punctured-neighbourhood subgraph (and ``tau``): connectivity
+plus "do cycles of length <= tau span the whole cycle space".  A
+canonical content key — the sorted vertex and edge tuples — therefore
+lets verdicts be shared between repeated tests of the same vertex, tests
+of different vertices with coinciding neighbourhoods, and (via a shared
+:class:`SpanMemo`) across engines working on overlapping graphs, e.g.
+successive shifts of the lifetime rotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.network.graph import Edge, NetworkGraph, SubgraphView
+
+#: (sorted vertices, sorted edges) — a canonical labelled-subgraph key.
+SubgraphSignature = Tuple[Tuple[int, ...], Tuple[Edge, ...]]
+
+
+def graph_signature(graph) -> SubgraphSignature:
+    """Canonical content key of a :class:`NetworkGraph` or view."""
+    if isinstance(graph, SubgraphView):
+        return graph.signature()
+    return tuple(sorted(graph.vertices())), tuple(sorted(graph.edges()))
+
+
+class SpanMemo:
+    """Memo of span/deletability verdicts keyed by subgraph signature.
+
+    Safe to share between any number of engines (verdicts are pure
+    functions of ``(tau, subgraph)``; ``tau`` is part of the key).  The
+    memo is bounded: when ``maxsize`` is reached it is cleared wholesale,
+    which keeps the worst case at "no worse than no memo at all".
+    """
+
+    __slots__ = ("_store", "maxsize")
+
+    def __init__(self, maxsize: int = 100_000) -> None:
+        self._store: Dict[Tuple[int, SubgraphSignature], bool] = {}
+        self.maxsize = maxsize
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, tau: int, sig: SubgraphSignature) -> Optional[bool]:
+        return self._store.get((tau, sig))
+
+    def put(self, tau: int, sig: SubgraphSignature, verdict: bool) -> None:
+        if len(self._store) >= self.maxsize:
+            self._store.clear()
+        self._store[(tau, sig)] = verdict

@@ -33,6 +33,7 @@ class TestPipeline:
         )
         assert report.is_blanket
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("tau", [4, 6])
     def test_schedule_preserves_criterion_and_coverage(self, deployed, tau):
         net, cycle, protected = deployed
@@ -48,6 +49,7 @@ class TestPipeline:
         # substantial thinning happened
         assert result.num_removed > 0.25 * (len(net.graph) - len(protected))
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("tau", [4, 6])
     def test_geometric_qoc_within_proposition1_bound(self, deployed, tau):
         """Holes of the thinned network obey Dmax <= (tau - 2) Rc.
@@ -68,6 +70,7 @@ class TestPipeline:
         report = evaluate_coverage(active_positions, net.rs, net.target_area, 90)
         assert report.max_hole_diameter <= hole_diameter_bound(tau, net.rc) + 0.15
 
+    @pytest.mark.slow
     def test_larger_tau_thins_more(self, deployed):
         net, cycle, protected = deployed
         sizes = {}

@@ -34,6 +34,7 @@ class TestFig2:
 
 
 class TestFig3:
+    @pytest.mark.slow
     def test_ratios_normalised_and_decreasing(self):
         result = run_fig3_confine_size(
             count=150, degree=16.0, taus=(3, 4, 5), runs=1, seed=0
@@ -44,6 +45,7 @@ class TestFig3:
 
 
 class TestFig4:
+    @pytest.mark.slow
     def test_lambda_structure(self):
         # the Fig-4 driver only accepts HGC-verified deployments, which
         # need paper-level density (degree ~25)

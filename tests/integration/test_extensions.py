@@ -80,6 +80,7 @@ class TestLifetimeOnDeployment:
 
 
 class TestRepairOnDeployment:
+    @pytest.mark.slow
     def test_schedule_fail_repair_roundtrip(self):
         network = build_network(
             250, Rectangle(0, 0, 6, 6), rc=1.0, rs=1.0, seed=20

@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.homology",
     "repro.network",
     "repro.runtime",
+    "repro.topology",
     "repro.geometry",
     "repro.boundary",
     "repro.traces",
