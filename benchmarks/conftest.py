@@ -8,9 +8,16 @@ network — are built once per session and shared.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
 import pytest
 
 from repro.traces.greenorbs import GreenOrbsConfig, generate_greenorbs_trace
+
+BENCH_KERNEL_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 
 def pytest_addoption(parser):
@@ -28,6 +35,41 @@ def paper_scale(request) -> bool:
 
 
 @pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker count for figure benches' repeated trials.
+
+    ``REPRO_BENCH_WORKERS`` (default ``1`` = serial; ``0`` auto-detects)
+    fans the independent runs of fig 2/3/4 over the parallel layer.
+    Results are byte-identical at any value, so the recorded figures
+    never depend on it — only the wall clock does.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+@pytest.fixture(scope="session")
 def greenorbs_trace():
     """The Figure 5-7 synthetic trace (one generation per session)."""
     return generate_greenorbs_trace(GreenOrbsConfig(), seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Merge named entries into ``BENCH_kernel.json`` at the repo root.
+
+    Each bench that measures the CSR kernel or the parallel layer calls
+    ``bench_record(name, entry)``; entries from one session (and from
+    earlier runs) merge by name, so partial bench selections never wipe
+    the file.
+    """
+
+    def record(name: str, entry: Dict[str, Any]) -> None:
+        data: Dict[str, Any] = {}
+        if BENCH_KERNEL_JSON.exists():
+            try:
+                data = json.loads(BENCH_KERNEL_JSON.read_text())
+            except (OSError, ValueError):
+                data = {}
+        data[name] = entry
+        BENCH_KERNEL_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record

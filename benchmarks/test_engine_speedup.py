@@ -108,9 +108,28 @@ def _compare(mode):
     return seed_run, seed_wall, engine_run, engine_wall
 
 
-def test_engine_speedup_parallel(benchmark):
+def _record_entry(bench_record, name, seed_run, seed_wall, engine_run, engine_wall):
+    bench_record(
+        name,
+        {
+            "tau": TAU,
+            "seed_heavy_ops": _heavy_ops(seed_run.counters),
+            "engine_heavy_ops": _heavy_ops(engine_run.counters),
+            "seed_wall_s": round(seed_wall, 4),
+            "engine_wall_s": round(engine_wall, 4),
+            "seed_counters": seed_run.counters.as_dict(),
+            "engine_counters": engine_run.counters.as_dict(),
+        },
+    )
+
+
+def test_engine_speedup_parallel(benchmark, bench_record):
     seed_run, seed_wall, engine_run, engine_wall = benchmark.pedantic(
         lambda: _compare("parallel"), rounds=1, iterations=1
+    )
+    _record_entry(
+        bench_record, "engine_vs_seed_parallel",
+        seed_run, seed_wall, engine_run, engine_wall,
     )
     print()
     print(f"Engine speedup (parallel DCC, tau={TAU}):")
@@ -134,9 +153,13 @@ def test_engine_speedup_parallel(benchmark):
     assert _heavy_ops(seed_run.counters) >= 2 * _heavy_ops(engine_run.counters)
 
 
-def test_engine_speedup_sequential(benchmark):
+def test_engine_speedup_sequential(benchmark, bench_record):
     seed_run, seed_wall, engine_run, engine_wall = benchmark.pedantic(
         lambda: _compare("sequential"), rounds=1, iterations=1
+    )
+    _record_entry(
+        bench_record, "engine_vs_seed_sequential",
+        seed_run, seed_wall, engine_run, engine_wall,
     )
     print()
     print(f"Engine speedup (sequential DCC, tau={TAU}):")
@@ -160,7 +183,7 @@ def test_engine_speedup_sequential(benchmark):
     assert _heavy_ops(seed_run.counters) >= 2 * _heavy_ops(engine_run.counters)
 
 
-def test_engine_speedup_distributed(benchmark):
+def test_engine_speedup_distributed(benchmark, bench_record):
     graph, protected = _deployment()
     result, wall = benchmark.pedantic(
         lambda: _timed(
@@ -172,6 +195,14 @@ def test_engine_speedup_distributed(benchmark):
         iterations=1,
     )
     counters = result.stats.topology
+    bench_record(
+        "engine_vs_seed_distributed",
+        {
+            "tau": TAU,
+            "wall_s": round(wall, 4),
+            "counters": counters.as_dict(),
+        },
+    )
     print()
     print(f"Engine speedup (distributed DCC, tau={TAU}):")
     print(

@@ -8,11 +8,17 @@ throughout (Theorem 5).  Shape check: monotone shrinkage with tau.
 from repro.analysis.experiments import run_fig2_vertex_deletion
 
 
-def test_fig2_vertex_deletion(benchmark, paper_scale):
+def test_fig2_vertex_deletion(benchmark, paper_scale, bench_workers):
     count, degree = (1600, 25.0) if paper_scale else (320, 22.0)
     result = benchmark.pedantic(
         run_fig2_vertex_deletion,
-        kwargs=dict(count=count, degree=degree, taus=(3, 4, 5, 6), seed=0),
+        kwargs=dict(
+            count=count,
+            degree=degree,
+            taus=(3, 4, 5, 6),
+            seed=0,
+            workers=bench_workers,
+        ),
         rounds=1,
         iterations=1,
     )

@@ -10,12 +10,17 @@ with a substantial drop by the largest tau.
 from repro.analysis.experiments import run_fig3_confine_size
 
 
-def test_fig3_confine_size(benchmark, paper_scale):
+def test_fig3_confine_size(benchmark, paper_scale, bench_workers):
     if paper_scale:
-        kwargs = dict(paper_scale=True)
+        kwargs = dict(paper_scale=True, workers=bench_workers)
     else:
         kwargs = dict(
-            count=300, degree=22.0, taus=(3, 4, 5, 6, 7), runs=1, seed=0
+            count=300,
+            degree=22.0,
+            taus=(3, 4, 5, 6, 7),
+            runs=1,
+            seed=0,
+            workers=bench_workers,
         )
     result = benchmark.pedantic(
         run_fig3_confine_size, kwargs=kwargs, rounds=1, iterations=1

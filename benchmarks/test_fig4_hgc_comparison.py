@@ -13,7 +13,7 @@ GAMMAS = (2.0, 1.6, 1.2, 1.0)
 REQUIREMENTS = (0.0, 0.4, 0.8, 1.2)
 
 
-def test_fig4_hgc_comparison(benchmark, paper_scale):
+def test_fig4_hgc_comparison(benchmark, paper_scale, bench_workers):
     count, degree, runs = (1600, 25.0, 10) if paper_scale else (220, 25.0, 1)
     result = benchmark.pedantic(
         run_fig4_hgc_comparison,
@@ -24,6 +24,7 @@ def test_fig4_hgc_comparison(benchmark, paper_scale):
             requirements=REQUIREMENTS,
             runs=runs,
             seed=3,
+            workers=bench_workers,
         ),
         rounds=1,
         iterations=1,

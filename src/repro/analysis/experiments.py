@@ -125,24 +125,65 @@ class Fig2Result:
         return "\n".join(lines)
 
 
+def _fig2_cell(
+    count: int, degree: float, seed: int, tau: int
+) -> Tuple[int, int, bool, bool]:
+    """One confine size of Figure 2, rebuilt from seeds (picklable)."""
+    network, cycle, protected = _prepare_network(count, degree, seed)
+    initially = is_tau_partitionable(network.graph, [cycle], tau)
+    result = dcc_schedule(
+        network.graph, protected, tau, rng=random.Random(seed + tau)
+    )
+    finally_ = is_tau_partitionable(result.active, [cycle], tau)
+    return tau, result.num_active, initially, finally_
+
+
 def run_fig2_vertex_deletion(
     count: int = 420,
     degree: float = 25.0,
     taus: Sequence[int] = (3, 4, 5, 6),
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> Fig2Result:
-    """One network thinned for each confine size, as in Figure 2 (b-e)."""
+    """One network thinned for each confine size, as in Figure 2 (b-e).
+
+    The per-tau runs share nothing but the (deterministically rebuilt)
+    deployment, so ``workers`` fans them across processes; results are
+    identical to the serial loop at any worker count.
+    """
+    from repro.parallel import parallel_starmap, resolve_workers
+
     network, cycle, protected = _prepare_network(count, degree, seed)
+    if resolve_workers(workers) > 1:
+        cells = parallel_starmap(
+            _fig2_cell,
+            [(count, degree, seed, tau) for tau in taus],
+            workers=workers,
+        )
+    else:
+        # Serial path reuses the one prepared network instead of letting
+        # each cell rebuild it.
+        cells = []
+        for tau in taus:
+            initially_tau = is_tau_partitionable(network.graph, [cycle], tau)
+            result = dcc_schedule(
+                network.graph, protected, tau, rng=random.Random(seed + tau)
+            )
+            cells.append(
+                (
+                    tau,
+                    result.num_active,
+                    initially_tau,
+                    is_tau_partitionable(result.active, [cycle], tau),
+                )
+            )
     active_by_tau: Dict[int, int] = {}
     initially: Dict[int, bool] = {}
     finally_: Dict[int, bool] = {}
-    for tau in taus:
-        initially[tau] = is_tau_partitionable(network.graph, [cycle], tau)
-        result = dcc_schedule(
-            network.graph, protected, tau, rng=random.Random(seed + tau)
-        )
-        active_by_tau[tau] = result.num_active
-        finally_[tau] = is_tau_partitionable(result.active, [cycle], tau)
+    for tau, active, init, fin in cells:
+        active_by_tau[tau] = active
+        initially[tau] = init
+        finally_[tau] = fin
     return Fig2Result(
         total_nodes=len(network.graph),
         protected_nodes=len(protected),
@@ -171,6 +212,20 @@ class Fig3Result:
         return "\n".join(lines)
 
 
+def _fig3_run(
+    count: int, degree: float, taus: Sequence[int], seed: int, run: int
+) -> Dict[int, float]:
+    """Coverage-set sizes of one Figure 3 repetition (picklable)."""
+    network, __, protected = _prepare_network(count, degree, seed + run)
+    sizes: Dict[int, float] = {}
+    for tau in taus:
+        result = dcc_schedule(
+            network.graph, protected, tau, rng=random.Random(seed + run)
+        )
+        sizes[tau] = result.num_active
+    return sizes
+
+
 def run_fig3_confine_size(
     count: int = 420,
     degree: float = 25.0,
@@ -178,24 +233,26 @@ def run_fig3_confine_size(
     runs: int = 2,
     seed: int = 0,
     paper_scale: bool = False,
+    workers: Optional[int] = 1,
 ) -> Fig3Result:
     """Mean coverage-set size, normalised by the tau=3 set, per tau.
 
     The paper uses 1600 nodes at average degree ~25 with 100 runs; the
     default here is a laptop-scale reduction that preserves density and
-    therefore the curve's shape.
+    therefore the curve's shape.  Repetitions are seed-independent, so
+    ``workers`` fans them across processes (results identical to serial).
     """
+    from repro.parallel import parallel_starmap
+
     if paper_scale:
         count, degree, runs = 1600, 25.0, 100
     ratios: Dict[int, List[float]] = {tau: [] for tau in taus}
-    for run in range(runs):
-        network, __, protected = _prepare_network(count, degree, seed + run)
-        sizes: Dict[int, float] = {}
-        for tau in taus:
-            result = dcc_schedule(
-                network.graph, protected, tau, rng=random.Random(seed + run)
-            )
-            sizes[tau] = result.num_active
+    per_run = parallel_starmap(
+        _fig3_run,
+        [(count, degree, tuple(taus), seed, run) for run in range(runs)],
+        workers=workers,
+    )
+    for sizes in per_run:
         base = sizes[taus[0]]
         for tau in taus:
             ratios[tau].append(sizes[tau] / base)
@@ -247,6 +304,65 @@ class Fig4Result:
         return "\n".join(lines)
 
 
+def _fig4_run(
+    count: int,
+    degree: float,
+    gammas: Sequence[float],
+    requirements: Sequence[float],
+    seed: int,
+    run: int,
+    tau_cap: int,
+) -> Tuple[
+    Dict[Tuple[float, float], Optional[int]],
+    Dict[Tuple[float, float], float],
+    Dict[Tuple[float, float], float],
+]:
+    """One Figure 4 repetition: ``(tau_used, lambda, lambda_internal)``."""
+    network, cycle, protected = _prepare_hgc_verified_network(
+        count, degree, seed + run
+    )
+    hgc = hgc_schedule(
+        network.graph,
+        [cycle],
+        protected,
+        rng=random.Random(seed + run),
+        require_verified=True,
+    )
+    n1 = hgc.num_active
+    n1_internal = n1 - len(protected)
+    dcc_cache: Dict[int, int] = {}
+    tau_used: Dict[Tuple[float, float], Optional[int]] = {}
+    saved: Dict[Tuple[float, float], float] = {}
+    saved_internal: Dict[Tuple[float, float], float] = {}
+    for gamma in gammas:
+        for dmax in requirements:
+            requirement = ConfineRequirement(
+                gamma=gamma, max_hole_diameter=dmax, rc=1.0
+            )
+            tau = requirement.max_feasible_tau(tau_cap=tau_cap)
+            key = (dmax, gamma)
+            tau_used[key] = tau
+            if tau is None:
+                # No connectivity-based guarantee possible: DCC falls
+                # back to HGC's triangle granularity, saving nothing.
+                saved[key] = 0.0
+                saved_internal[key] = 0.0
+                continue
+            if tau not in dcc_cache:
+                schedule = dcc_schedule(
+                    network.graph,
+                    protected,
+                    tau,
+                    rng=random.Random(seed + run),
+                )
+                dcc_cache[tau] = schedule.num_active
+            n2 = dcc_cache[tau]
+            saved[key] = max(0.0, (n1 - n2) / n1)
+            if n1_internal > 0:
+                saved_internal[key] = max(0.0, (n1 - n2) / n1_internal)
+    return tau_used, saved, saved_internal
+
+
 def run_fig4_hgc_comparison(
     count: int = 300,
     degree: float = 25.0,
@@ -255,6 +371,7 @@ def run_fig4_hgc_comparison(
     runs: int = 2,
     seed: int = 3,
     tau_cap: int = 9,
+    workers: Optional[int] = 1,
 ) -> Fig4Result:
     """DCC (adaptive tau) against HGC (fixed triangles), Figure 4.
 
@@ -262,52 +379,28 @@ def run_fig4_hgc_comparison(
     DCC scheduler runs at the largest feasible confine size (Proposition
     1); HGC's coverage set is independent of ``gamma`` because it always
     uses triangles.  ``lambda = (n1 - n2)/n1`` counts the nodes DCC saves.
+    Repetitions are seed-independent; ``workers`` fans them across
+    processes with results identical to the serial loop.
     """
+    from repro.parallel import parallel_starmap
+
     result = Fig4Result(gammas=list(gammas), requirements=list(requirements))
     accum: Dict[Tuple[float, float], List[float]] = {}
     accum_internal: Dict[Tuple[float, float], List[float]] = {}
-    for run in range(runs):
-        network, cycle, protected = _prepare_hgc_verified_network(
-            count, degree, seed + run
-        )
-        hgc = hgc_schedule(
-            network.graph,
-            [cycle],
-            protected,
-            rng=random.Random(seed + run),
-            require_verified=True,
-        )
-        n1 = hgc.num_active
-        n1_internal = n1 - len(protected)
-        dcc_cache: Dict[int, int] = {}
-        for gamma in gammas:
-            for dmax in requirements:
-                requirement = ConfineRequirement(
-                    gamma=gamma, max_hole_diameter=dmax, rc=1.0
-                )
-                tau = requirement.max_feasible_tau(tau_cap=tau_cap)
-                key = (dmax, gamma)
-                result.tau_used[key] = tau
-                if tau is None:
-                    # No connectivity-based guarantee possible: DCC falls
-                    # back to HGC's triangle granularity, saving nothing.
-                    accum.setdefault(key, []).append(0.0)
-                    accum_internal.setdefault(key, []).append(0.0)
-                    continue
-                if tau not in dcc_cache:
-                    schedule = dcc_schedule(
-                        network.graph,
-                        protected,
-                        tau,
-                        rng=random.Random(seed + run),
-                    )
-                    dcc_cache[tau] = schedule.num_active
-                n2 = dcc_cache[tau]
-                accum.setdefault(key, []).append(max(0.0, (n1 - n2) / n1))
-                if n1_internal > 0:
-                    accum_internal.setdefault(key, []).append(
-                        max(0.0, (n1 - n2) / n1_internal)
-                    )
+    per_run = parallel_starmap(
+        _fig4_run,
+        [
+            (count, degree, tuple(gammas), tuple(requirements), seed, run, tau_cap)
+            for run in range(runs)
+        ],
+        workers=workers,
+    )
+    for tau_used, saved, saved_internal in per_run:
+        result.tau_used.update(tau_used)
+        for key, lam in saved.items():
+            accum.setdefault(key, []).append(lam)
+        for key, lam in saved_internal.items():
+            accum_internal.setdefault(key, []).append(lam)
     result.saved = {
         key: sum(values) / len(values) for key, values in accum.items()
     }
@@ -379,25 +472,60 @@ class TraceConfineResult:
         return "\n".join(lines)
 
 
+def _trace_confine_cell(
+    config: GreenOrbsConfig, seed: int, tau: int
+) -> Tuple[int, int]:
+    """One confine size on the (regenerated) trace topology (picklable)."""
+    trace = generate_greenorbs_trace(config, seed=seed)
+    network = trace.as_network(rc=config.max_range, rs=config.max_range)
+    cycle = outer_boundary_cycle(network)
+    protected = set(cycle)
+    result = dcc_schedule(
+        network.graph, protected, tau, rng=random.Random(seed + tau)
+    )
+    return tau, result.num_active - len(protected)
+
+
 def run_trace_confine(
     taus: Sequence[int] = (3, 4, 5, 6, 7, 8),
     config: Optional[GreenOrbsConfig] = None,
     seed: int = 1,
     trace: Optional[GreenOrbsTrace] = None,
+    workers: Optional[int] = 1,
 ) -> TraceConfineResult:
     """Inner nodes retained per confine size on the trace topology.
 
     Figure 6 plots taus 3..8; Figure 7's snapshots are taus 3..7 of the
     same experiment.  The sharp drop between tau=3 and tau=5 is the
     signature the paper attributes to the trace's long links and the long
-    narrow deployment shape.
+    narrow deployment shape.  With ``workers`` the per-tau runs fan out
+    across processes (each regenerating the deterministic trace from
+    ``seed``); an explicitly supplied ``trace`` forces the serial path.
     """
+    from repro.parallel import parallel_starmap, resolve_workers
+
     config = config or GreenOrbsConfig()
+    if trace is None and resolve_workers(workers) > 1:
+        trace = generate_greenorbs_trace(config, seed=seed)
+        network = trace.as_network(rc=config.max_range, rs=config.max_range)
+        protected = set(outer_boundary_cycle(network))
+        cells = parallel_starmap(
+            _trace_confine_cell,
+            [(config, seed, tau) for tau in taus],
+            workers=workers,
+        )
+        inner_left = dict(cells)
+        return TraceConfineResult(
+            taus=list(taus),
+            inner_left_by_tau=inner_left,
+            boundary_nodes=len(protected),
+            total_nodes=len(network.graph),
+        )
     trace = trace or generate_greenorbs_trace(config, seed=seed)
     network = trace.as_network(rc=config.max_range, rs=config.max_range)
     cycle = outer_boundary_cycle(network)
     protected = set(cycle)
-    inner_left: Dict[int, int] = {}
+    inner_left = {}
     for tau in taus:
         result = dcc_schedule(
             network.graph, protected, tau, rng=random.Random(seed + tau)
@@ -411,9 +539,9 @@ def run_trace_confine(
     )
 
 
-def run_fig6_trace(seed: int = 1) -> TraceConfineResult:
-    return run_trace_confine(taus=(3, 4, 5, 6, 7, 8), seed=seed)
+def run_fig6_trace(seed: int = 1, workers: Optional[int] = 1) -> TraceConfineResult:
+    return run_trace_confine(taus=(3, 4, 5, 6, 7, 8), seed=seed, workers=workers)
 
 
-def run_fig7_trace(seed: int = 1) -> TraceConfineResult:
-    return run_trace_confine(taus=(3, 4, 5, 6, 7), seed=seed)
+def run_fig7_trace(seed: int = 1, workers: Optional[int] = 1) -> TraceConfineResult:
+    return run_trace_confine(taus=(3, 4, 5, 6, 7), seed=seed, workers=workers)

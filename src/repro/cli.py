@@ -42,14 +42,22 @@ def _overrides(args: argparse.Namespace, *names: str) -> dict:
     return out
 
 
+def _workers(args: argparse.Namespace) -> int:
+    """``--workers`` contract: omitted = auto-detect (0), ``1`` = serial."""
+    return args.workers if args.workers is not None else 0
+
+
 def _cmd_fig2(args: argparse.Namespace) -> str:
-    result = run_fig2_vertex_deletion(**_overrides(args, "nodes", "degree", "seed"))
+    result = run_fig2_vertex_deletion(
+        workers=_workers(args), **_overrides(args, "nodes", "degree", "seed")
+    )
     return result.format_table()
 
 
 def _cmd_fig3(args: argparse.Namespace) -> str:
     result = run_fig3_confine_size(
         paper_scale=args.paper_scale,
+        workers=_workers(args),
         **_overrides(args, "nodes", "degree", "runs", "seed"),
     )
     return result.format_table()
@@ -57,7 +65,7 @@ def _cmd_fig3(args: argparse.Namespace) -> str:
 
 def _cmd_fig4(args: argparse.Namespace) -> str:
     result = run_fig4_hgc_comparison(
-        **_overrides(args, "nodes", "degree", "runs", "seed")
+        workers=_workers(args), **_overrides(args, "nodes", "degree", "runs", "seed")
     )
     return result.format_table()
 
@@ -67,11 +75,15 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    return run_fig6_trace(seed=args.seed if args.seed is not None else 1).format_table("6")
+    return run_fig6_trace(
+        seed=args.seed if args.seed is not None else 1, workers=_workers(args)
+    ).format_table("6")
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
-    return run_fig7_trace(seed=args.seed if args.seed is not None else 1).format_table("7")
+    return run_fig7_trace(
+        seed=args.seed if args.seed is not None else 1, workers=_workers(args)
+    ).format_table("7")
 
 
 _COMMANDS = {
@@ -107,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--runs", type=int, default=None, help="random repetitions")
     parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool size for independent runs/cells "
+            "(default: auto-detect; 1 = serial; results are identical "
+            "at any worker count)"
+        ),
+    )
     parser.add_argument(
         "--paper-scale",
         action="store_true",

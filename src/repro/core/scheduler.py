@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.vpt import deletion_radius
 from repro.network.graph import NetworkGraph
+from repro.parallel.runner import ScheduleFanout, resolve_workers
 from repro.topology import LocalTopologyEngine, TopologyCounters
 
 
@@ -104,6 +105,7 @@ def dcc_schedule(
     mode: str = "parallel",
     seed: int = 0,
     engine: Optional[LocalTopologyEngine] = None,
+    workers: Optional[int] = 1,
 ) -> ScheduleResult:
     """Compute a sparse tau-confine coverage set by maximal vertex deletion.
 
@@ -119,6 +121,15 @@ def dcc_schedule(
     engine's graph is consumed in place (that is the point: callers like
     boundary repair share one engine across criterion checks and
     scheduling).
+
+    ``workers`` (``1`` = serial, ``0``/``None`` = auto-detect) fans the
+    round's deletability verdicts across a process pool of warm engine
+    replicas in ``parallel`` mode — see :mod:`repro.parallel`.  Verdicts
+    are pure functions of the current graph, so the schedule is
+    bit-identical to the serial run at any worker count; the fan-out
+    tests every candidate eagerly (trading the serial path's lazy
+    blocked-candidate skips for concurrency).  ``sequential`` mode takes
+    one verdict per round and always runs serially.
     """
     if mode not in ("parallel", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -132,6 +143,29 @@ def dcc_schedule(
     missing = protected_set - work.vertex_set()
     if missing:
         raise KeyError(f"protected nodes not in graph: {sorted(missing)[:5]}")
+    fanout = None
+    if mode == "parallel":
+        pool_size = resolve_workers(workers)
+        if pool_size > 1:
+            fanout = ScheduleFanout(work, tau, pool_size)
+    try:
+        return _dcc_schedule_rounds(
+            engine, work, protected_set, tau, rng, mode, fanout
+        )
+    finally:
+        if fanout is not None:
+            fanout.close()
+
+
+def _dcc_schedule_rounds(
+    engine: LocalTopologyEngine,
+    work: NetworkGraph,
+    protected_set: Set[int],
+    tau: int,
+    rng: random.Random,
+    mode: str,
+    fanout,
+) -> ScheduleResult:
     removed: List[int] = []
     deletions_per_round: List[int] = []
     separation = deletion_radius(tau) + 1
@@ -144,18 +178,27 @@ def dcc_schedule(
             # selected and never blocks anyone else, so the winners are
             # exactly the greedy MIS over the induced (uniform) order on
             # the deletable set — the eager candidates-then-MIS draw's
-            # distribution, minus its wasted span tests.
+            # distribution, minus its wasted span tests.  Blocking is
+            # marked from the winner's side: hop distance is symmetric,
+            # so ``v`` lies in some winner's separation ball iff a winner
+            # lies in ``v``'s — one ball extraction per *winner* (and an
+            # O(1) membership probe per candidate) instead of one BFS per
+            # candidate.
             order = [v for v in work.vertices() if v not in protected_set]
             rng.shuffle(order)
-            selected: Set[int] = set()
+            verdict_of = (
+                fanout.verdicts(order, engine.counters)
+                if fanout is not None
+                else None
+            )
+            blocked: Set[int] = set()
             batch = []
             for v in order:
-                ball = engine.ball(v, separation - 1)
-                if not selected.isdisjoint(ball):
+                if v in blocked:
                     continue
-                if engine.deletable(v):
-                    selected.add(v)
+                if verdict_of[v] if verdict_of is not None else engine.deletable(v):
                     batch.append(v)
+                    blocked |= engine.ball(v, separation - 1)
             if not batch:
                 break
         else:
@@ -173,6 +216,8 @@ def dcc_schedule(
         for v in batch:
             engine.delete_vertex(v)
             removed.append(v)
+        if fanout is not None:
+            fanout.record_deletions(batch)
         deletions_per_round.append(len(batch))
 
     return ScheduleResult(

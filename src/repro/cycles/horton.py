@@ -157,7 +157,9 @@ class ShortCycleSpan:
     is a GF(2) sum of Horton candidates of length at most ``L``.
     """
 
-    def __init__(self, graph: NetworkGraph, tau: int) -> None:
+    def __init__(
+        self, graph: NetworkGraph, tau: int, *, use_csr: bool = True
+    ) -> None:
         if tau < 3:
             raise ValueError("tau must be at least 3 (the shortest cycle)")
         self.graph = graph
@@ -166,7 +168,15 @@ class ShortCycleSpan:
         self._dimension = cycle_space_dimension(graph)
         self._basis = GF2Basis()
         if self._dimension:
-            self._stream_closures()
+            # CSR fast path for real graphs (views keep the dict oracle):
+            # identical chord numbering, so the spanned subspace — and
+            # every downstream ``contains`` query — matches the oracle.
+            if use_csr and hasattr(graph, "csr"):
+                graph.csr().stream_short_closures(
+                    tau, self._chords.chord_mask, self._basis, self._dimension
+                )
+            else:
+                self._stream_closures()
 
     def _stream_closures(self) -> None:
         """Feed tree-path closures to the basis, stopping when rank fills.

@@ -32,7 +32,7 @@ class NetworkGraph:
     :class:`repro.topology.LocalTopologyEngine`) detect staleness cheaply.
     """
 
-    __slots__ = ("_adj", "_version")
+    __slots__ = ("_adj", "_version", "_csr")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class NetworkGraph:
     ) -> None:
         self._adj: Dict[int, Set[int]] = {}
         self._version = 0
+        self._csr = None
         for v in vertices:
             self.add_vertex(v)
         for u, v in edges:
@@ -50,6 +51,30 @@ class NetworkGraph:
     def version(self) -> int:
         """Monotone counter bumped by every mutation."""
         return self._version
+
+    def csr(self):
+        """The graph's CSR mirror (see :mod:`repro.cycles.kernel`).
+
+        Built on first request and cached; any mutation applied through
+        the mirror keeps it in lock-step, while an out-of-band mutation
+        bumps :attr:`version` past the mirror's and triggers a rebuild
+        here.  Consumers holding a fresh mirror get array-based BFS and
+        span tests without ever copying adjacency.
+        """
+        from repro.cycles.kernel import CSRGraph
+
+        if self._csr is None or self._csr.version != self._version:
+            self._csr = CSRGraph(self)
+        return self._csr
+
+    # -- pickling (drop the CSR mirror: cheap to rebuild, heavy to ship)
+    def __getstate__(self):
+        return {"_adj": self._adj, "_version": self._version}
+
+    def __setstate__(self, state) -> None:
+        self._adj = state["_adj"]
+        self._version = state["_version"]
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -70,7 +95,7 @@ class NetworkGraph:
         return out
 
     def copy(self) -> "NetworkGraph":
-        """Return an independent copy of the graph."""
+        """Return an independent copy of the graph (no shared CSR mirror)."""
         clone = NetworkGraph()
         clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         return clone
@@ -163,6 +188,11 @@ class NetworkGraph:
         self, source: int, cutoff: Optional[int] = None
     ) -> Dict[int, int]:
         """Hop distances from ``source``, optionally truncated at ``cutoff``."""
+        csr = self._csr
+        if csr is not None and csr.version == self._version:
+            # Array fast path: only when a fresh mirror already exists,
+            # so one-shot callers never pay a build for a single BFS.
+            return csr.bfs_distances(source, cutoff)
         if source not in self._adj:
             raise KeyError(f"vertex {source} not in graph")
         dist = {source: 0}

@@ -1,0 +1,23 @@
+"""Process-parallel execution of independent coverage work.
+
+See :mod:`repro.parallel.runner` for the determinism contract (ordered
+submission/consumption, worker-local warm engines, counter merging).
+"""
+
+from repro.parallel.runner import (
+    ScheduleFanout,
+    chunk_evenly,
+    compact_graph_blob,
+    graph_from_blob,
+    parallel_starmap,
+    resolve_workers,
+)
+
+__all__ = [
+    "ScheduleFanout",
+    "chunk_evenly",
+    "compact_graph_blob",
+    "graph_from_blob",
+    "parallel_starmap",
+    "resolve_workers",
+]

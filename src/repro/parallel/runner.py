@@ -1,0 +1,212 @@
+"""Process-parallel execution layer for independent-by-construction work.
+
+Three fan-out sites in the stack are embarrassingly parallel *by
+construction*: deletability verdicts of one MIS round (each verdict is a
+pure function of the current graph), sweep cells (each cell builds its
+own deployment from its own seed), and repeated figure trials.  This
+module runs them on a ``ProcessPoolExecutor`` under one determinism
+contract:
+
+* **Work is chunked deterministically.**  Tasks are submitted in a fixed
+  order derived from the caller's (already seeded) ordering and results
+  are consumed in submission order — never completion order — so output
+  is byte-identical to a serial run at the same seeds, regardless of
+  worker count or OS scheduling.
+* **Workers hold warm, worker-local state.**  A scheduling fan-out ships
+  the compact graph once per worker (pickled vertex/edge lists, not the
+  object graph) and each worker builds its own
+  :class:`~repro.topology.LocalTopologyEngine` — kernel CSR mirror,
+  verdict cache and span memo included.  Rounds then send only the
+  deletion log suffix each worker is missing; workers replay it through
+  the engine's incremental invalidation, so caches stay warm across
+  rounds without any shared memory.
+* **Counters merge back.**  Workers return
+  :class:`~repro.topology.TopologyCounters` deltas with their results;
+  the caller merges them into its own counters, so instrumentation is a
+  complete account of the run no matter where the work executed.
+
+Verdicts are deterministic functions of ``(graph, tau)``, so the fan-out
+changes *where* they are computed but never *what* they are — schedules
+and figure rows are reproduced bit-for-bit at fixed seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.topology import TopologyCounters
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Worker-count contract: ``None``/``0`` auto-detect, ``1`` is serial.
+
+    Auto-detection uses ``os.cpu_count()``; explicit positive values are
+    taken as given (oversubscription is the caller's choice).
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = auto-detect)")
+    return workers
+
+
+def chunk_evenly(items: Sequence[Any], chunks: int) -> List[Sequence[Any]]:
+    """Split ``items`` into at most ``chunks`` contiguous, ordered parts.
+
+    Deterministic: chunk boundaries depend only on ``len(items)`` and
+    ``chunks``.  Sizes differ by at most one; empty chunks are dropped.
+    """
+    count = len(items)
+    if count == 0:
+        return []
+    chunks = max(1, min(chunks, count))
+    size, extra = divmod(count, chunks)
+    out: List[Sequence[Any]] = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def parallel_starmap(
+    func: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """``[func(*t) for t in tasks]``, fanned out, in submission order.
+
+    ``func``, ``initializer`` and every task must be picklable
+    (top-level functions, plain-data arguments).  With one resolved
+    worker (or at most one task) everything runs inline in this process
+    — including ``initializer``, so warm-state task functions behave
+    identically.  Exceptions propagate from the first failing task in
+    *submission* order; later tasks may already have run.
+    """
+    count = resolve_workers(workers)
+    if count <= 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [func(*task) for task in tasks]
+    with ProcessPoolExecutor(
+        max_workers=count, initializer=initializer, initargs=initargs
+    ) as pool:
+        futures = [pool.submit(func, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Scheduling fan-out: warm per-worker engines + deletion-log replay
+# ----------------------------------------------------------------------
+def compact_graph_blob(graph) -> bytes:
+    """A graph serialized as sorted vertex/edge lists (no object graph)."""
+    vertices = tuple(sorted(graph.vertices()))
+    edges = tuple(sorted(graph.edges()))
+    return pickle.dumps((vertices, edges), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def graph_from_blob(blob: bytes):
+    from repro.network.graph import NetworkGraph
+
+    vertices, edges = pickle.loads(blob)
+    graph = NetworkGraph(vertices)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+# Worker-local warm state, installed by the pool initializer.  One
+# engine per worker process: its kernel mirror, verdict cache and span
+# memo survive across rounds and are kept consistent by replaying the
+# deletion log through the engine's own invalidation.
+_WORKER_ENGINE = None
+_WORKER_APPLIED = 0
+
+
+def _init_schedule_worker(blob: bytes, tau: int) -> None:
+    global _WORKER_ENGINE, _WORKER_APPLIED
+    from repro.topology import LocalTopologyEngine
+
+    _WORKER_ENGINE = LocalTopologyEngine(graph_from_blob(blob), tau)
+    _WORKER_APPLIED = 0
+
+
+def _test_candidates(
+    log: Tuple[int, ...], chunk: Sequence[int]
+) -> Tuple[List[int], List[bool], Dict[str, int]]:
+    """Verdicts for ``chunk`` after replaying the missing log suffix."""
+    global _WORKER_APPLIED
+    engine = _WORKER_ENGINE
+    for v in log[_WORKER_APPLIED:]:
+        engine.delete_vertex(v)
+    _WORKER_APPLIED = len(log)
+    before = engine.counters.as_dict()
+    verdicts = [engine.deletable(v) for v in chunk]
+    after = engine.counters.as_dict()
+    delta = {name: after[name] - before[name] for name in after}
+    return list(chunk), verdicts, delta
+
+
+class ScheduleFanout:
+    """Per-round deletability fan-out with warm worker engines.
+
+    Built once per schedule from the *initial* graph; each round calls
+    :meth:`verdicts` with the candidate order and the caller records the
+    round's deletions with :meth:`record_deletions`, which become the
+    log prefix every worker replays before its next chunk.  Use as a
+    context manager so the pool is torn down on any exit path.
+    """
+
+    def __init__(self, graph, tau: int, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("ScheduleFanout needs at least 2 workers")
+        self.workers = workers
+        self._log: List[int] = []
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_schedule_worker,
+            initargs=(compact_graph_blob(graph), tau),
+        )
+
+    def record_deletions(self, batch: Iterable[int]) -> None:
+        self._log.extend(batch)
+
+    def verdicts(
+        self, candidates: Sequence[int], counters: TopologyCounters
+    ) -> Dict[int, bool]:
+        """Deletability of every candidate on the current logged graph."""
+        log = tuple(self._log)
+        futures = [
+            self._pool.submit(_test_candidates, log, chunk)
+            for chunk in chunk_evenly(list(candidates), self.workers)
+        ]
+        out: Dict[int, bool] = {}
+        for future in futures:
+            chunk, verdicts, delta = future.result()
+            out.update(zip(chunk, verdicts))
+            counters.merge(TopologyCounters(**delta))
+        return out
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ScheduleFanout":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,6 +27,10 @@ class TopologyCounters:
     span_computations: int = 0
     #: span verdicts served from the signature-keyed memo
     span_memo_hits: int = 0
+    #: memo lookups that found nothing (verdict had to be computed)
+    span_memo_misses: int = 0
+    #: LRU entries this engine's inserts pushed out of the shared memo
+    span_memo_evictions: int = 0
     #: k-ball BFS extractions actually performed
     ball_computations: int = 0
     #: ball requests served from the ball cache
@@ -50,7 +54,9 @@ class TopologyCounters:
             f"({self.deletability_cache_hits} cached, "
             f"{self.deletability_tests} fresh) | "
             f"spans: {self.span_computations} computed, "
-            f"{self.span_memo_hits} memoised | "
+            f"{self.span_memo_hits} memoised "
+            f"({self.span_memo_misses} misses, "
+            f"{self.span_memo_evictions} evictions) | "
             f"balls: {self.ball_computations} BFS, "
             f"{self.ball_cache_hits} cached "
             f"({self.bfs_expansions} expansions) | "

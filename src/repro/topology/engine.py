@@ -70,10 +70,21 @@ class LocalTopologyEngine:
         do).
     span_memo:
         Optional shared :class:`SpanMemo` of signature-keyed verdicts.
-    cache_balls / cache_verdicts / memoize_spans:
-        Feature switches, all on by default.  Benchmarks switch them off
-        to reproduce the seed's recompute-from-scratch cost model against
-        identical schedules.
+    cache_balls / cache_verdicts / memoize_spans / use_kernel:
+        Feature switches.  Benchmarks switch them off to reproduce the
+        seed's recompute-from-scratch cost model (and, for
+        ``use_kernel``, the PR 1 dict-based cost model) against
+        identical schedules.  ``cache_balls`` defaults to the *inverse*
+        of ``use_kernel``: a kernel BFS over slot arrays is cheaper than
+        the ball cache's owner-index bookkeeping plus invalidation
+        churn, so kernel engines recompute balls and fall back to the
+        BFS-eviction policy for verdict invalidation, while dict-based
+        engines keep the cache.  ``memoize_spans`` defaults to whether a
+        *shared* ``span_memo`` was supplied (always on for dict-based
+        engines): a private memo on a kernel engine pays the signature
+        scan on every fresh verdict and almost never hits, because the
+        per-vertex verdict cache already absorbs exact repeats.  Pass
+        explicit values to override either default.
     """
 
     def __init__(
@@ -83,18 +94,23 @@ class LocalTopologyEngine:
         *,
         counters: Optional[TopologyCounters] = None,
         span_memo: Optional[SpanMemo] = None,
-        cache_balls: bool = True,
+        cache_balls: Optional[bool] = None,
         cache_verdicts: bool = True,
-        memoize_spans: bool = True,
+        memoize_spans: Optional[bool] = None,
+        use_kernel: bool = True,
     ) -> None:
         self.graph = graph
         self.tau = tau
         self.radius = neighborhood_radius(tau)
         self.counters = counters if counters is not None else TopologyCounters()
         self.span_memo = span_memo if span_memo is not None else SpanMemo()
-        self.cache_balls = cache_balls
+        self.cache_balls = (not use_kernel) if cache_balls is None else cache_balls
         self.cache_verdicts = cache_verdicts
+        if memoize_spans is None:
+            memoize_spans = span_memo is not None or not use_kernel
         self.memoize_spans = memoize_spans
+        self.use_kernel = use_kernel
+        self._kernel = graph.csr() if use_kernel else None
         self._balls: Dict[BallKey, FrozenSet[int]] = {}
         self._owners: Dict[int, Set[BallKey]] = {}
         self._verdicts: Dict[int, bool] = {}
@@ -116,6 +132,8 @@ class LocalTopologyEngine:
         self._balls.clear()
         self._owners.clear()
         self._verdicts.clear()
+        if self.use_kernel:
+            self._kernel = self.graph.csr()
         self._version = self.graph.version
 
     def _invalidate_member(self, w: int) -> None:
@@ -167,7 +185,10 @@ class LocalTopologyEngine:
                 if self._verdicts.pop(u, None) is not None:
                     self.counters.invalidations += 1
         self._invalidate_member(v)
-        nbrs = self.graph.remove_vertex(v)
+        if self.use_kernel:
+            nbrs = self._kernel.delete_vertex(v)
+        else:
+            nbrs = self.graph.remove_vertex(v)
         self._version = self.graph.version
         return nbrs
 
@@ -177,7 +198,10 @@ class LocalTopologyEngine:
             self._verdicts.clear()
         self._invalidate_member(u)
         self._invalidate_member(v)
-        self.graph.remove_edge(u, v)
+        if self.use_kernel:
+            self._kernel.delete_edge(u, v)
+        else:
+            self.graph.remove_edge(u, v)
         self._version = self.graph.version
 
     def add_edge(self, u: int, v: int) -> None:
@@ -186,13 +210,19 @@ class LocalTopologyEngine:
             self._verdicts.clear()
         self._invalidate_member(u)
         self._invalidate_member(v)
-        self.graph.add_edge(u, v)
+        if self.use_kernel:
+            self._kernel.add_edge(u, v)
+        else:
+            self.graph.add_edge(u, v)
         self._version = self.graph.version
 
     def add_vertex(self, v: int) -> None:
         # A fresh isolated vertex changes no distances: nothing to flush.
         self._sync()
-        self.graph.add_vertex(v)
+        if self.use_kernel:
+            self._kernel.add_vertex(v)
+        else:
+            self.graph.add_vertex(v)
         self._version = self.graph.version
 
     # ------------------------------------------------------------------
@@ -216,10 +246,12 @@ class LocalTopologyEngine:
         if cached is not None:
             self.counters.ball_cache_hits += 1
             return cached
-        dist = self.graph.bfs_distances(v, cutoff=r)
+        if self.use_kernel:
+            ball = self._kernel.ball_ids(v, r)
+        else:
+            ball = frozenset(self.graph.bfs_distances(v, cutoff=r))
         self.counters.ball_computations += 1
-        self.counters.bfs_expansions += len(dist)
-        ball = frozenset(dist)
+        self.counters.bfs_expansions += len(ball)
         if self.cache_balls:
             self._balls[key] = ball
             for member in ball:
@@ -230,6 +262,23 @@ class LocalTopologyEngine:
         """``N^k(v)``: the k-ball of ``v`` without ``v`` itself."""
         return self.ball(v, self.radius) - {v}
 
+    def blocked(self, v: int, radius: int, blockers: Set[int]) -> bool:
+        """Does the ``radius``-ball of ``v`` intersect ``blockers``?
+
+        The MIS separation predicate of the parallel scheduler.  On an
+        uncached kernel engine this is an early-exit slot BFS — no ball
+        materialisation at all; otherwise it reuses the (cached) ball.
+        """
+        self._sync()
+        if self.use_kernel and not self.cache_balls:
+            if not blockers:
+                return False
+            self.counters.ball_computations += 1
+            hit, expansions = self._kernel.ball_intersects(v, radius, blockers)
+            self.counters.bfs_expansions += expansions
+            return hit
+        return not blockers.isdisjoint(self.ball(v, radius))
+
     def deletable(self, v: int) -> bool:
         """Definition 5: is ``v`` void-preserving deletable (cached)?"""
         self._sync()
@@ -239,16 +288,48 @@ class LocalTopologyEngine:
             self.counters.deletability_cache_hits += 1
             return cached
         self.counters.deletability_tests += 1
-        neighborhood = self.punctured_neighborhood(v)
-        verdict = self._neighborhood_verdict(neighborhood)
+        if self.use_kernel and not self.cache_balls:
+            # Slot-native path: the punctured neighbourhood never leaves
+            # slot space (no frozensets, no id round-trips).
+            kernel = self._kernel
+            slots = kernel.punctured_ball_slots(v, self.radius)
+            self.counters.ball_computations += 1
+            self.counters.bfs_expansions += len(slots) + 1
+            verdict = self._verdict_from_slots(kernel, slots)
+        else:
+            neighborhood = self.punctured_neighborhood(v)
+            verdict = self._neighborhood_verdict(neighborhood)
         if self.cache_verdicts:
             self._verdicts[v] = verdict
+        return verdict
+
+    def _verdict_from_slots(self, kernel, slots: List[int]) -> bool:
+        if not slots:
+            # An isolated vertex supports no cycles; deleting it is safe.
+            return True
+        mrows = None
+        if self.memoize_spans:
+            mrows, sig = kernel.member_rows_signature(slots)
+            memoized = self.span_memo.get(self.tau, sig)
+            if memoized is not None:
+                self.counters.span_memo_hits += 1
+                return memoized
+            self.counters.span_memo_misses += 1
+        self.counters.span_computations += 1
+        verdict = kernel.span_connected_verdict(slots, self.tau, mrows)
+        if self.memoize_spans:
+            self.counters.span_memo_evictions += self.span_memo.put(
+                self.tau, sig, verdict
+            )
         return verdict
 
     def _neighborhood_verdict(self, neighborhood: FrozenSet[int]) -> bool:
         if not neighborhood:
             # An isolated vertex supports no cycles; deleting it is safe.
             return True
+        if self.use_kernel:
+            kernel = self._kernel
+            return self._verdict_from_slots(kernel, kernel.member_slots(neighborhood))
         view = self.graph.subgraph_view(neighborhood)
         if self.memoize_spans:
             sig = view.signature()
@@ -256,12 +337,15 @@ class LocalTopologyEngine:
             if memoized is not None:
                 self.counters.span_memo_hits += 1
                 return memoized
+            self.counters.span_memo_misses += 1
         verdict = view.is_connected()
         if verdict:
             self.counters.span_computations += 1
             verdict = ShortCycleSpan(view, self.tau).spans_cycle_space()
         if self.memoize_spans:
-            self.span_memo.put(self.tau, sig, verdict)
+            self.counters.span_memo_evictions += self.span_memo.put(
+                self.tau, sig, verdict
+            )
         return verdict
 
     def boundary_partitionable(self, boundary_cycles) -> bool:
@@ -306,6 +390,7 @@ class LocalTopologyEngine:
             cache_balls=self.cache_balls,
             cache_verdicts=self.cache_verdicts,
             memoize_spans=self.memoize_spans,
+            use_kernel=self.use_kernel,
         )
         clone._balls = dict(self._balls)
         clone._owners = {m: set(keys) for m, keys in self._owners.items()}
@@ -345,6 +430,8 @@ def punctured_deletable(
             if counters is not None:
                 counters.span_memo_hits += 1
             return memoized
+        if counters is not None:
+            counters.span_memo_misses += 1
     verdict = view.is_connected()
     if verdict:
         if counters is not None:

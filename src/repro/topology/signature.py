@@ -7,7 +7,9 @@ canonical content key — the sorted vertex and edge tuples — therefore
 lets verdicts be shared between repeated tests of the same vertex, tests
 of different vertices with coinciding neighbourhoods, and (via a shared
 :class:`SpanMemo`) across engines working on overlapping graphs, e.g.
-successive shifts of the lifetime rotation.
+successive shifts of the lifetime rotation or the workers of the
+process-parallel runner (each worker owns one memo that stays warm for
+its whole lifetime).
 """
 
 from __future__ import annotations
@@ -28,27 +30,58 @@ def graph_signature(graph) -> SubgraphSignature:
 
 
 class SpanMemo:
-    """Memo of span/deletability verdicts keyed by subgraph signature.
+    """LRU memo of span/deletability verdicts keyed by subgraph signature.
 
     Safe to share between any number of engines (verdicts are pure
     functions of ``(tau, subgraph)``; ``tau`` is part of the key).  The
-    memo is bounded: when ``maxsize`` is reached it is cleared wholesale,
-    which keeps the worst case at "no worse than no memo at all".
+    memo is bounded by ``maxsize`` entries with least-recently-used
+    eviction — long lifetime rotations and sweep workers reuse recent
+    neighbourhood shapes heavily, so evicting the stalest entry keeps
+    the hit rate while capping memory.  ``hits`` / ``misses`` /
+    ``evictions`` count the memo's own traffic across every engine
+    sharing it; per-engine accounting rides on
+    :class:`~repro.topology.counters.TopologyCounters`.
     """
 
-    __slots__ = ("_store", "maxsize")
+    __slots__ = ("_store", "maxsize", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int = 100_000) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
         self._store: Dict[Tuple[int, SubgraphSignature], bool] = {}
         self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def get(self, tau: int, sig: SubgraphSignature) -> Optional[bool]:
-        return self._store.get((tau, sig))
+        store = self._store
+        key = (tau, sig)
+        verdict = store.get(key)
+        if verdict is None:
+            self.misses += 1
+            return None
+        # Refresh recency: dicts preserve insertion order, so pop and
+        # re-insert moves the key to the young end.
+        store[key] = store.pop(key)
+        self.hits += 1
+        return verdict
 
-    def put(self, tau: int, sig: SubgraphSignature, verdict: bool) -> None:
-        if len(self._store) >= self.maxsize:
-            self._store.clear()
-        self._store[(tau, sig)] = verdict
+    def put(self, tau: int, sig: SubgraphSignature, verdict: bool) -> int:
+        """Store a verdict; returns the number of entries evicted (0/1)."""
+        store = self._store
+        key = (tau, sig)
+        if key in store:
+            store[key] = store.pop(key)
+            store[key] = verdict
+            return 0
+        evicted = 0
+        if len(store) >= self.maxsize:
+            del store[next(iter(store))]
+            self.evictions += 1
+            evicted = 1
+        store[key] = verdict
+        return evicted

@@ -105,7 +105,7 @@ class TestEngineCaching:
 
     def test_ball_caching_counts(self):
         mesh = triangulated_grid(4, 4).graph
-        engine = LocalTopologyEngine(mesh, 4)
+        engine = LocalTopologyEngine(mesh, 4, cache_balls=True)
         v = sorted(mesh.vertices())[0]
         a = engine.ball(v, 2)
         b = engine.ball(v, 2)
