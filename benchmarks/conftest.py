@@ -8,13 +8,13 @@ network — are built once per session and shared.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Any, Dict
 
 import pytest
 
+from repro.obs.export import merge_json_entry
 from repro.traces.greenorbs import GreenOrbsConfig, generate_greenorbs_trace
 
 BENCH_KERNEL_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
@@ -59,17 +59,12 @@ def bench_record():
     Each bench that measures the CSR kernel or the parallel layer calls
     ``bench_record(name, entry)``; entries from one session (and from
     earlier runs) merge by name, so partial bench selections never wipe
-    the file.
+    the file.  The merge itself is
+    :func:`repro.obs.export.merge_json_entry` — the same convention the
+    observability layer's run-reports use.
     """
 
     def record(name: str, entry: Dict[str, Any]) -> None:
-        data: Dict[str, Any] = {}
-        if BENCH_KERNEL_JSON.exists():
-            try:
-                data = json.loads(BENCH_KERNEL_JSON.read_text())
-            except (OSError, ValueError):
-                data = {}
-        data[name] = entry
-        BENCH_KERNEL_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        merge_json_entry(BENCH_KERNEL_JSON, name, entry)
 
     return record

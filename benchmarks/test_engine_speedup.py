@@ -22,6 +22,7 @@ import time
 from repro.core.scheduler import ScheduleResult, dcc_schedule
 from repro.core.vpt import deletable_vertices, deletion_radius
 from repro.network.deployment import Rectangle, build_network
+from repro.obs import MetricsRegistry, Tracer, build_run_report, observe
 from repro.runtime.protocol import distributed_dcc_schedule
 from repro.topology import LocalTopologyEngine
 
@@ -108,7 +109,16 @@ def _compare(mode):
     return seed_run, seed_wall, engine_run, engine_wall
 
 
-def _record_entry(bench_record, name, seed_run, seed_wall, engine_run, engine_wall):
+def _traced_phases(mode):
+    """Per-phase aggregates of one observed run (after the timed ones)."""
+    graph, protected = _deployment()
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observe(tracer, metrics):
+        dcc_schedule(graph, protected, TAU, rng=random.Random(0), mode=mode)
+    return build_run_report(f"engine_{mode}", tracer, metrics)["phases"]
+
+
+def _record_entry(bench_record, name, seed_run, seed_wall, engine_run, engine_wall, mode):
     bench_record(
         name,
         {
@@ -119,6 +129,7 @@ def _record_entry(bench_record, name, seed_run, seed_wall, engine_run, engine_wa
             "engine_wall_s": round(engine_wall, 4),
             "seed_counters": seed_run.counters.as_dict(),
             "engine_counters": engine_run.counters.as_dict(),
+            "phases": _traced_phases(mode),
         },
     )
 
@@ -129,7 +140,7 @@ def test_engine_speedup_parallel(benchmark, bench_record):
     )
     _record_entry(
         bench_record, "engine_vs_seed_parallel",
-        seed_run, seed_wall, engine_run, engine_wall,
+        seed_run, seed_wall, engine_run, engine_wall, "parallel",
     )
     print()
     print(f"Engine speedup (parallel DCC, tau={TAU}):")
@@ -159,7 +170,7 @@ def test_engine_speedup_sequential(benchmark, bench_record):
     )
     _record_entry(
         bench_record, "engine_vs_seed_sequential",
-        seed_run, seed_wall, engine_run, engine_wall,
+        seed_run, seed_wall, engine_run, engine_wall, "sequential",
     )
     print()
     print(f"Engine speedup (sequential DCC, tau={TAU}):")

@@ -33,6 +33,7 @@ from repro.analysis.sweeps import parameter_grid, run_sweep
 from repro.core.scheduler import dcc_schedule
 from repro.core.vpt import deletion_radius
 from repro.network.deployment import Rectangle, build_network
+from repro.obs import MetricsRegistry, Tracer, build_run_report, observe
 from repro.topology import LocalTopologyEngine
 
 SMOKE = os.environ.get("REPRO_BENCH_SCALE", "full") == "smoke"
@@ -105,7 +106,14 @@ def _compare(mode):
         assert kernel_run.removed == pr1_removed, (
             "kernel schedule diverged from the PR 1 engine's"
         )
+    # One extra *traced* run, after the timed loops so the walls above
+    # stay unpolluted: its per-phase aggregates ride on the bench entry.
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observe(tracer, metrics):
+        dcc_schedule(graph, protected, TAU, rng=random.Random(0), mode=mode)
+    phases = build_run_report(f"kernel_{mode}", tracer, metrics)["phases"]
     return {
+        "phases": phases,
         "mode": mode,
         "nodes": NODES,
         "tau": TAU,

@@ -149,12 +149,18 @@ def run_fig2_vertex_deletion(
 
     The per-tau runs share nothing but the (deterministically rebuilt)
     deployment, so ``workers`` fans them across processes; results are
-    identical to the serial loop at any worker count.
+    identical to the serial loop at any worker count.  Under an active
+    observation the serial shortcut is skipped too: every cell goes
+    through :func:`parallel_starmap`'s per-task capture, so run-reports
+    are worker-count invariant (modulo wall-clock fields), not just the
+    figure tables.
     """
+    from repro.obs.tracer import current_metrics, current_tracer
     from repro.parallel import parallel_starmap, resolve_workers
 
+    observed = current_tracer().enabled or current_metrics() is not None
     network, cycle, protected = _prepare_network(count, degree, seed)
-    if resolve_workers(workers) > 1:
+    if resolve_workers(workers) > 1 or observed:
         cells = parallel_starmap(
             _fig2_cell,
             [(count, degree, seed, tau) for tau in taus],
@@ -501,11 +507,15 @@ def run_trace_confine(
     narrow deployment shape.  With ``workers`` the per-tau runs fan out
     across processes (each regenerating the deterministic trace from
     ``seed``); an explicitly supplied ``trace`` forces the serial path.
+    Under an active observation the fan-out path is taken even with one
+    worker, so run-reports are worker-count invariant.
     """
+    from repro.obs.tracer import current_metrics, current_tracer
     from repro.parallel import parallel_starmap, resolve_workers
 
+    observed = current_tracer().enabled or current_metrics() is not None
     config = config or GreenOrbsConfig()
-    if trace is None and resolve_workers(workers) > 1:
+    if trace is None and (resolve_workers(workers) > 1 or observed):
         trace = generate_greenorbs_trace(config, seed=seed)
         network = trace.as_network(rc=config.max_range, rs=config.max_range)
         protected = set(outer_boundary_cycle(network))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import csv
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -113,6 +114,8 @@ def run_sweep(
     seeds: Sequence[int] = (0,),
     on_error: str = "raise",
     workers: Optional[int] = 1,
+    report_dir: Optional[str] = None,
+    report_name: str = "sweep",
 ) -> SweepResult:
     """Run ``func(**params, seed=s)`` over a grid times seeds.
 
@@ -129,6 +132,16 @@ def run_sweep(
     serial ones.  Parallel cells require a picklable (module-level)
     ``func``; with ``on_error="raise"`` the first failing cell in grid
     order raises, though later cells may already have run.
+
+    With ``report_dir`` the sweep runs under its own observation (a
+    fresh tracer + metrics registry, installed ambiently so every cell
+    is captured wherever it executes) and writes a validated
+    ``repro.run_report/v1`` document to
+    ``<report_dir>/<report_name>.json``.  The report is identical at
+    any worker count once :func:`repro.obs.export.strip_volatile` is
+    applied — the property suite holds serial vs fanned-out runs to
+    that.  If an ambient observation is already active, the sweep's
+    spans and metrics are merged back into it afterwards.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError("on_error must be 'raise' or 'skip'")
@@ -140,5 +153,46 @@ def run_sweep(
         for params in grid
         for seed in seeds
     ]
-    rows = parallel_starmap(_sweep_cell, tasks, workers=workers)
+    from repro.obs.tracer import current_metrics, current_tracer
+
+    if report_dir is None:
+        with current_tracer().trace(
+            "sweep.run", cells=len(grid), seeds=len(seeds)
+        ):
+            rows = parallel_starmap(_sweep_cell, tasks, workers=workers)
+        return SweepResult(rows=rows)
+
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        build_run_report,
+        observe,
+        validate_run_report,
+        write_run_report,
+    )
+
+    ambient_tracer = current_tracer()
+    ambient_metrics = current_metrics()
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observe(tracer, metrics):
+        with tracer.trace("sweep.run", cells=len(grid), seeds=len(seeds)):
+            rows = parallel_starmap(_sweep_cell, tasks, workers=workers)
+    report = build_run_report(
+        report_name,
+        tracer,
+        metrics,
+        meta={
+            "cells": len(grid),
+            "seeds": list(seeds),
+            "workers": workers,
+        },
+    )
+    validate_run_report(report)
+    target = Path(report_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    write_run_report(report, str(target / f"{report_name}.json"))
+    if ambient_tracer.enabled:
+        ambient_tracer.import_spans(tracer.export_spans())
+    if ambient_metrics is not None:
+        ambient_metrics.merge(metrics)
     return SweepResult(rows=rows)

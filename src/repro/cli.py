@@ -5,15 +5,21 @@ Examples::
     repro-coverage fig1
     repro-coverage fig3 --runs 3 --nodes 220
     repro-coverage fig4 --runs 2
+    repro-coverage fig2 --trace fig2.jsonl --report fig2.json --profile
     repro-coverage all
     python -m repro.cli fig6
+
+Every invocation runs under an enabled tracer and metrics registry (the
+per-figure timing printed after each table is the figure's recorded
+span, so it always agrees with ``--report``); ``--trace`` / ``--report``
+/ ``--profile`` / ``--timeline`` export the observation in the formats
+of :mod:`repro.obs.export` and :mod:`repro.obs.timeline`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from repro.analysis.experiments import (
@@ -24,6 +30,17 @@ from repro.analysis.experiments import (
     run_fig5_rssi_cdf,
     run_fig6_trace,
     run_fig7_trace,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    observe,
+    profile_summary,
+    timeline_from_tracer,
+    validate_run_report,
+    write_run_report,
+    write_trace_jsonl,
 )
 
 
@@ -134,17 +151,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full experiment sizes (slow in pure Python)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the span trace as JSON lines (repro.trace/v1)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a schema-versioned run-report (repro.run_report/v1) "
+            "with per-phase wall times and merged metrics"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span profile tree (inclusive/exclusive wall time)",
+    )
+    parser.add_argument(
+        "--timeline",
+        metavar="PATH",
+        default=None,
+        help="render the per-round SVG timeline of the traced run",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.time()
-        output = _COMMANDS[name](args)
-        print(output)
-        print(f"  [{name} took {time.time() - start:.1f}s]\n")
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with observe(tracer, metrics):
+        for name in names:
+            with tracer.trace(f"figure.{name}", experiment=name):
+                output = _COMMANDS[name](args)
+            print(output)
+            # The figure span was recorded on exit, so the printed
+            # timing is byte-for-byte the one --report aggregates.
+            print(f"  [{name} took {tracer.last_span().wall_s:.1f}s]\n")
+    if args.trace:
+        count = write_trace_jsonl(tracer, args.trace)
+        print(f"trace: {count} spans -> {args.trace}")
+    if args.report:
+        report = build_run_report(
+            f"repro-coverage:{args.experiment}",
+            tracer,
+            metrics,
+            meta={
+                "experiment": args.experiment,
+                "figures": names,
+                "nodes": args.nodes,
+                "degree": args.degree,
+                "runs": args.runs,
+                "seed": args.seed,
+                "paper_scale": args.paper_scale,
+                "workers": args.workers,
+            },
+        )
+        validate_run_report(report)
+        write_run_report(report, args.report)
+        print(f"run-report -> {args.report}")
+    if args.timeline:
+        canvas = timeline_from_tracer(
+            tracer, title=f"repro-coverage {args.experiment}"
+        )
+        canvas.save(args.timeline)
+        print(f"timeline -> {args.timeline}")
+    if args.profile:
+        print(profile_summary(tracer))
     return 0
 
 

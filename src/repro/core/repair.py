@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.scheduler import dcc_schedule
 from repro.network.graph import NetworkGraph
+from repro.obs.tracer import traced
 from repro.topology import LocalTopologyEngine
 
 
@@ -37,6 +38,7 @@ class FailureAssessment:
         return not self.criterion_survived
 
 
+@traced("repair.assess")
 def assess_failures(
     active: NetworkGraph,
     boundary_cycles: Sequence[VertexCycle],
@@ -69,6 +71,7 @@ class RepairResult:
     assessment: Optional[FailureAssessment] = None
 
 
+@traced("repair.coverage")
 def repair_coverage(
     full_graph: NetworkGraph,
     active_set: Iterable[int],

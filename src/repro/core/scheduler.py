@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.vpt import deletion_radius
 from repro.network.graph import NetworkGraph
+from repro.obs.tracer import current_metrics, current_tracer
 from repro.parallel.runner import ScheduleFanout, resolve_workers
 from repro.topology import LocalTopologyEngine, TopologyCounters
 
@@ -106,6 +108,8 @@ def dcc_schedule(
     seed: int = 0,
     engine: Optional[LocalTopologyEngine] = None,
     workers: Optional[int] = 1,
+    tracer=None,
+    metrics=None,
 ) -> ScheduleResult:
     """Compute a sparse tau-confine coverage set by maximal vertex deletion.
 
@@ -130,14 +134,27 @@ def dcc_schedule(
     tests every candidate eagerly (trading the serial path's lazy
     blocked-candidate skips for concurrency).  ``sequential`` mode takes
     one verdict per round and always runs serially.
+
+    ``tracer`` / ``metrics`` default to the ambient observers
+    (:func:`repro.obs.tracer.observe`); a run with both disabled pays
+    only the null-tracer guards.  When observed, every round records a
+    ``scheduler.round`` span with nested candidate-discovery, MIS-draw
+    and deletion phases, and the engine's counter delta is absorbed into
+    the registry under ``topology.*``.
     """
     if mode not in ("parallel", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
     rng = rng if rng is not None else random.Random(seed)
+    tracer = tracer if tracer is not None else current_tracer()
+    metrics = metrics if metrics is not None else current_metrics()
     if engine is None:
-        engine = LocalTopologyEngine(graph.copy(), tau)
+        engine = LocalTopologyEngine(
+            graph.copy(), tau, tracer=tracer, metrics=metrics
+        )
     elif engine.tau != tau:
         raise ValueError("engine was built for a different tau")
+    elif tracer.enabled or metrics is not None:
+        engine.set_observers(tracer=tracer, metrics=metrics)
     work = engine.graph
     protected_set = set(protected)
     missing = protected_set - work.vertex_set()
@@ -147,10 +164,10 @@ def dcc_schedule(
     if mode == "parallel":
         pool_size = resolve_workers(workers)
         if pool_size > 1:
-            fanout = ScheduleFanout(work, tau, pool_size)
+            fanout = ScheduleFanout(work, tau, pool_size, capture=tracer.enabled)
     try:
         return _dcc_schedule_rounds(
-            engine, work, protected_set, tau, rng, mode, fanout
+            engine, work, protected_set, tau, rng, mode, fanout, tracer, metrics
         )
     finally:
         if fanout is not None:
@@ -165,60 +182,110 @@ def _dcc_schedule_rounds(
     rng: random.Random,
     mode: str,
     fanout,
+    tracer,
+    metrics,
 ) -> ScheduleResult:
     removed: List[int] = []
     deletions_per_round: List[int] = []
     separation = deletion_radius(tau) + 1
+    counters_before = engine.counters.as_dict() if metrics is not None else None
+    round_no = 0
 
     while True:
-        if mode == "parallel":
-            # Lazy MIS: one random priority order over the internal
-            # vertices; a vertex blocked by an earlier winner skips the
-            # deletability test entirely.  A blocked vertex can never be
-            # selected and never blocks anyone else, so the winners are
-            # exactly the greedy MIS over the induced (uniform) order on
-            # the deletable set — the eager candidates-then-MIS draw's
-            # distribution, minus its wasted span tests.  Blocking is
-            # marked from the winner's side: hop distance is symmetric,
-            # so ``v`` lies in some winner's separation ball iff a winner
-            # lies in ``v``'s — one ball extraction per *winner* (and an
-            # O(1) membership probe per candidate) instead of one BFS per
-            # candidate.
-            order = [v for v in work.vertices() if v not in protected_set]
-            rng.shuffle(order)
-            verdict_of = (
-                fanout.verdicts(order, engine.counters)
-                if fanout is not None
-                else None
-            )
-            blocked: Set[int] = set()
-            batch = []
-            for v in order:
-                if v in blocked:
-                    continue
-                if verdict_of[v] if verdict_of is not None else engine.deletable(v):
-                    batch.append(v)
-                    blocked |= engine.ball(v, separation - 1)
-            if not batch:
-                break
-        else:
-            # Lazy uniform draw: the first deletable vertex of a uniformly
-            # random permutation is uniform over the deletable set.
-            order = [v for v in work.vertices() if v not in protected_set]
-            rng.shuffle(order)
-            batch = []
-            for v in order:
-                if engine.deletable(v):
-                    batch.append(v)
+        round_start = perf_counter()
+        with tracer.trace("scheduler.round", round=round_no, mode=mode):
+            if mode == "parallel":
+                # Lazy MIS: one random priority order over the internal
+                # vertices; a vertex blocked by an earlier winner skips the
+                # deletability test entirely.  A blocked vertex can never be
+                # selected and never blocks anyone else, so the winners are
+                # exactly the greedy MIS over the induced (uniform) order on
+                # the deletable set — the eager candidates-then-MIS draw's
+                # distribution, minus its wasted span tests.  Blocking is
+                # marked from the winner's side: hop distance is symmetric,
+                # so ``v`` lies in some winner's separation ball iff a winner
+                # lies in ``v``'s — one ball extraction per *winner* (and an
+                # O(1) membership probe per candidate) instead of one BFS per
+                # candidate.
+                with tracer.trace(
+                    "scheduler.candidates", round=round_no
+                ) as discovery:
+                    order = [
+                        v for v in work.vertices() if v not in protected_set
+                    ]
+                    rng.shuffle(order)
+                    discovery.set(candidates=len(order))
+                    verdict_of = (
+                        fanout.verdicts(order, engine.counters, tracer)
+                        if fanout is not None
+                        else None
+                    )
+                with tracer.trace("scheduler.mis_draw", round=round_no) as draw:
+                    blocked: Set[int] = set()
+                    batch = []
+                    for v in order:
+                        if v in blocked:
+                            continue
+                        if (
+                            verdict_of[v]
+                            if verdict_of is not None
+                            else engine.deletable(v)
+                        ):
+                            batch.append(v)
+                            blocked |= engine.ball(v, separation - 1)
+                    draw.set(winners=len(batch))
+                if not batch:
                     break
-            if not batch:
-                break
-        for v in batch:
-            engine.delete_vertex(v)
-            removed.append(v)
-        if fanout is not None:
-            fanout.record_deletions(batch)
-        deletions_per_round.append(len(batch))
+            else:
+                # Lazy uniform draw: the first deletable vertex of a
+                # uniformly random permutation is uniform over the
+                # deletable set.
+                with tracer.trace("scheduler.mis_draw", round=round_no) as draw:
+                    order = [
+                        v for v in work.vertices() if v not in protected_set
+                    ]
+                    rng.shuffle(order)
+                    batch = []
+                    for v in order:
+                        if engine.deletable(v):
+                            batch.append(v)
+                            break
+                    draw.set(winners=len(batch))
+                if not batch:
+                    break
+            with tracer.trace(
+                "scheduler.deletion", round=round_no, deletions=len(batch)
+            ):
+                for v in batch:
+                    engine.delete_vertex(v)
+                    removed.append(v)
+            if fanout is not None:
+                fanout.record_deletions(batch)
+            deletions_per_round.append(len(batch))
+        if metrics is not None:
+            metrics.observe(
+                "scheduler.round_wall_s",
+                perf_counter() - round_start,
+                volatile=True,
+            )
+            metrics.observe("scheduler.deletions_per_round", len(batch))
+            if mode == "parallel":
+                metrics.observe("scheduler.mis_size", len(batch))
+        round_no += 1
+
+    if metrics is not None:
+        metrics.inc("scheduler.runs")
+        metrics.inc("scheduler.rounds", len(deletions_per_round))
+        metrics.inc("scheduler.deletions", len(removed))
+        after = engine.counters.as_dict()
+        metrics.absorb_topology(
+            TopologyCounters(
+                **{
+                    name: after[name] - counters_before[name]
+                    for name in after
+                }
+            )
+        )
 
     return ScheduleResult(
         active=work,

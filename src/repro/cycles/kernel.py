@@ -55,6 +55,7 @@ class CSRGraph:
         "adj",
         "alive",
         "monotone_ids",
+        "tracer",
         "_dist",
         "_stamp",
         "_token",
@@ -66,6 +67,11 @@ class CSRGraph:
 
     def __init__(self, base) -> None:
         self.base = base
+        # Optional span tracer (duck-typed; deliberately NOT imported from
+        # repro.obs — that package renders through viz, which imports the
+        # graph module, which imports this one).  ``None`` keeps the hot
+        # paths at a single attribute load + identity check.
+        self.tracer = None
         ids = sorted(base.vertices())
         self.ids: List[int] = ids
         self.index: Dict[int, int] = {v: i for i, v in enumerate(ids)}
@@ -179,6 +185,13 @@ class CSRGraph:
 
     def ball_slots(self, source: int, radius: int) -> List[int]:
         """Slots within ``radius`` hops of id ``source`` (incl. source)."""
+        trc = self.tracer
+        if trc is None or not trc.enabled:
+            return self._ball_slots(source, radius)
+        with trc.trace("kernel.ball_bfs", center=source, radius=radius):
+            return self._ball_slots(source, radius)
+
+    def _ball_slots(self, source: int, radius: int) -> List[int]:
         src = self.index.get(source)
         if src is None:
             raise KeyError(f"vertex {source} not in graph")
@@ -391,6 +404,18 @@ class CSRGraph:
         the dict-based :class:`~repro.cycles.horton.ShortCycleSpan`
         oracle.
         """
+        trc = self.tracer
+        if trc is None or not trc.enabled:
+            return self._span_connected_verdict(members, tau, mrows)
+        with trc.trace("kernel.span_verdict", members=len(members), tau=tau):
+            return self._span_connected_verdict(members, tau, mrows)
+
+    def _span_connected_verdict(
+        self,
+        members: Sequence[int],
+        tau: int,
+        mrows: Optional[Dict[int, List[int]]] = None,
+    ) -> bool:
         if tau < 3:
             raise ValueError("tau must be at least 3 (the shortest cycle)")
         count = len(members)

@@ -1,0 +1,80 @@
+"""Observability: structured tracing, a metrics registry, run-reports.
+
+PR 1/2 taught the repo to *count* its work (``TopologyCounters``,
+``RuntimeStats``); this subpackage records *when and where* that work
+happens and exports it machine-readably:
+
+* :mod:`repro.obs.tracer` — ring-buffered span tracer with a no-op null
+  tracer as the universal default, an ambient-observer context
+  (:func:`observe` / :func:`current_tracer`) and a ``@traced``
+  decorator.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms that
+  absorb the existing accounting objects and merge associatively.
+* :mod:`repro.obs.export` — JSONL traces, schema-versioned deterministic
+  run-reports (``repro.run_report/v1``) and the ``--profile`` tree.
+* :mod:`repro.obs.timeline` — SVG per-round timelines through
+  :mod:`repro.viz.svg`.
+
+See DESIGN.md section 6 for the null-tracer contract and the
+determinism rules for merged worker observations.
+"""
+
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA,
+    TRACE_SCHEMA,
+    VOLATILE_META_KEYS,
+    SchemaError,
+    build_run_report,
+    load_run_report,
+    merge_json_entry,
+    phase_aggregates,
+    profile_summary,
+    read_trace_jsonl,
+    strip_volatile,
+    validate_run_report,
+    write_run_report,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import render_timeline, timeline_from_tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    observe,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RUN_REPORT_SCHEMA",
+    "SchemaError",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "VOLATILE_META_KEYS",
+    "build_run_report",
+    "current_metrics",
+    "current_tracer",
+    "load_run_report",
+    "merge_json_entry",
+    "observe",
+    "phase_aggregates",
+    "profile_summary",
+    "read_trace_jsonl",
+    "render_timeline",
+    "strip_volatile",
+    "timeline_from_tracer",
+    "traced",
+    "validate_run_report",
+    "write_run_report",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,140 @@
+"""SVG per-round timelines: rounds x phases with a message-volume overlay.
+
+Renders through the existing :mod:`repro.viz.svg` canvas (the repo has
+no plotting dependency): every span carrying a ``round`` attribute
+becomes a bar in its phase's row, bar height proportional to the span's
+wall time within that phase; spans that also carry message counts (the
+simulator's round spans) contribute a message-volume polyline across the
+top band.  The output opens in any browser next to the Figure 2/7
+snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.tracer import Span, Tracer
+from repro.viz.svg import SvgCanvas
+
+#: attribute names that count message traffic in a round span
+_MESSAGE_ATTRS = ("delivered", "messages", "sent")
+
+_ROW_HEIGHT = 1.0
+_BAR_FILL = 0.82
+_PHASE_COLORS = (
+    "#1f77b4",
+    "#ff7f0e",
+    "#2ca02c",
+    "#d62728",
+    "#9467bd",
+    "#8c564b",
+    "#17becf",
+)
+
+
+def _message_count(attrs: Dict[str, Any]) -> Optional[float]:
+    for key in _MESSAGE_ATTRS:
+        value = attrs.get(key)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def render_timeline(
+    spans: Sequence[Span],
+    title: str = "",
+    canvas: Optional[SvgCanvas] = None,
+) -> SvgCanvas:
+    """Draw the rounds-x-phases grid for every span with a ``round`` attr.
+
+    Rows are phases in first-appearance order; columns are round
+    numbers.  Bars are normalised per row (the tallest bar in a row is
+    the row's slowest round), so phases of very different cost stay
+    readable side by side.  Rounds with recorded message counts add an
+    overlay band at the top.
+    """
+    canvas = canvas or SvgCanvas(width=960, height=480)
+    rounds: List[int] = []
+    phases: List[str] = []
+    cells: Dict[str, Dict[int, float]] = {}
+    traffic: Dict[int, float] = {}
+    for span in spans:
+        rnd = span.attrs.get("round")
+        if not isinstance(rnd, int):
+            continue
+        if rnd not in rounds:
+            rounds.append(rnd)
+        row = cells.setdefault(span.name, {})
+        if span.name not in phases:
+            phases.append(span.name)
+        row[rnd] = row.get(rnd, 0.0) + span.wall_s
+        count = _message_count(span.attrs)
+        if count is not None:
+            traffic[rnd] = traffic.get(rnd, 0.0) + count
+    if not phases:
+        canvas.label((0.0, 0.0), "timeline: no round-attributed spans")
+        return canvas
+
+    rounds.sort()
+    column = {rnd: i for i, rnd in enumerate(rounds)}
+    width = float(len(rounds))
+    n_rows = len(phases)
+    overlay_rows = 1.5 if traffic else 0.0
+    top = (n_rows + overlay_rows) * _ROW_HEIGHT
+
+    # Row baselines and per-row-normalised bars.
+    for i, phase in enumerate(phases):
+        base = (n_rows - 1 - i) * _ROW_HEIGHT
+        color = _PHASE_COLORS[i % len(_PHASE_COLORS)]
+        canvas.line((0.0, base), (width, base), color="#dddddd", width=0.5)
+        row = cells[phase]
+        peak = max(row.values()) or 1.0
+        for rnd, wall in sorted(row.items()):
+            x = float(column[rnd])
+            height = _BAR_FILL * _ROW_HEIGHT * (wall / peak if peak else 0.0)
+            canvas.rect((x + 0.08, base), 0.84, max(height, 0.02), fill=color)
+        canvas.label(
+            (width + 0.15, base + 0.25 * _ROW_HEIGHT),
+            f"{phase} (peak {peak:.4f}s)",
+            size_px=11,
+        )
+
+    # Message-volume overlay band above the phase rows.
+    if traffic:
+        base = n_rows * _ROW_HEIGHT + 0.25
+        peak = max(traffic.values()) or 1.0
+        canvas.line((0.0, base), (width, base), color="#bbbbbb", width=0.5)
+        previous = None
+        for rnd in rounds:
+            count = traffic.get(rnd)
+            if count is None:
+                previous = None
+                continue
+            x = column[rnd] + 0.5
+            y = base + _ROW_HEIGHT * (count / peak)
+            if previous is not None:
+                canvas.line(previous, (x, y), color="#555555", width=1.2)
+            canvas.circle((x, y), radius_px=2.5, fill="#555555")
+            previous = (x, y)
+        canvas.label(
+            (width + 0.15, base + 0.25),
+            f"messages/round (peak {peak:.0f})",
+            size_px=11,
+        )
+
+    # Round axis ticks (thinned to at most ~12 labels).
+    step = max(1, len(rounds) // 12)
+    for i, rnd in enumerate(rounds):
+        if i % step == 0:
+            canvas.label((i + 0.3, -0.45), str(rnd), size_px=10)
+    canvas.label((0.0, -0.9), "round", size_px=11)
+    if title:
+        canvas.label((0.0, top + 0.4), title, size_px=14)
+    return canvas
+
+
+def timeline_from_tracer(
+    tracer: Tracer, title: str = "", canvas: Optional[SvgCanvas] = None
+) -> SvgCanvas:
+    """Convenience wrapper: render every round-attributed span recorded."""
+    return render_timeline(tracer.spans(), title=title, canvas=canvas)

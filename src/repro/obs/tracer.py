@@ -1,0 +1,364 @@
+"""Low-overhead structured span tracing.
+
+A :class:`Tracer` records *spans* — named, nested intervals with wall
+and CPU time plus free-form attributes — into a bounded ring buffer.
+Spans are recorded at **exit** time, so a parent's record always follows
+its children's; every consumer (phase aggregation, the profile tree, the
+timeline) relies on that exit-order nesting invariant.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose
+``enabled`` attribute is ``False``: hot paths guard their timing with a
+single attribute lookup (``if tracer.enabled:``) and pay nothing else
+when tracing is off.  Coarse sites (one span per scheduling round, per
+figure, per sweep) may call :meth:`Tracer.trace` unconditionally — the
+null tracer hands back a shared no-op context manager.
+
+An *ambient* tracer/metrics pair can be installed with :func:`observe`;
+:func:`current_tracer` / :func:`current_metrics` are how layers that are
+not explicitly threaded an observer (the scheduler, the simulator, the
+sweep runner) pick one up.  The ambient slot is process-global: worker
+processes of the parallel layer start with the null tracer and install
+their own capture-local observers (see :mod:`repro.parallel.runner`).
+
+Determinism contract: span *names, attributes, nesting and order* are
+deterministic functions of the computation at a fixed seed; only the
+``start_s`` / ``wall_s`` / ``cpu_s`` fields are volatile.  Run-report
+comparisons must strip the volatile fields (see
+:func:`repro.obs.export.strip_volatile`).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: picklable wire format for a span: (name, depth, start_s, wall_s, cpu_s, attrs)
+SpanTuple = Tuple[str, int, float, float, float, Dict[str, Any]]
+
+DEFAULT_CAPACITY = 131_072
+
+
+class Span:
+    """One recorded interval.  Plain attribute bag, ``__slots__``-packed."""
+
+    __slots__ = ("name", "depth", "start_s", "wall_s", "cpu_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        start_s: float,
+        wall_s: float,
+        cpu_s: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.depth = depth
+        self.start_s = start_s
+        self.wall_s = wall_s
+        self.cpu_s = cpu_s
+        self.attrs = attrs
+
+    def as_tuple(self) -> SpanTuple:
+        return (self.name, self.depth, self.start_s, self.wall_s, self.cpu_s, self.attrs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"wall_s={self.wall_s:.6f}, attrs={self.attrs!r})"
+        )
+
+
+class _SpanHandle:
+    """Context manager for one open span; records into the tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        tracer._depth += 1
+        self._start = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        wall = time.perf_counter() - self._start
+        cpu = time.process_time() - self._cpu0
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer._record(
+            Span(
+                self._name,
+                tracer._depth,
+                self._start - tracer._epoch,
+                wall,
+                cpu,
+                self._attrs,
+            )
+        )
+
+
+class _NullHandle:
+    """Shared no-op handle returned by the null tracer."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Tracer:
+    """Span recorder with a bounded ring buffer.
+
+    ``capacity`` bounds memory: once full, the *oldest* spans are
+    overwritten and counted in :attr:`dropped` (and surfaced as
+    ``spans_dropped`` in run-reports, so truncation is never silent).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf: List[Span] = []
+        self._next = 0
+        self.dropped = 0
+        self._depth = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return self._depth
+
+    def _record(self, span: Span) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append(span)
+        else:
+            self._buf[self._next] = span
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    def trace(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span: ``with tracer.trace("phase", key=value): ...``."""
+        return _SpanHandle(self, name, attrs)
+
+    def add_span(
+        self, name: str, wall_s: float, cpu_s: float = 0.0, **attrs: Any
+    ) -> None:
+        """Record a pre-timed *leaf* span at the current nesting depth.
+
+        For sites that time manually (e.g. around a block with multiple
+        exits) and must not pay the context-manager protocol.
+        """
+        self._record(
+            Span(
+                name,
+                self._depth,
+                time.perf_counter() - self._epoch - wall_s,
+                wall_s,
+                cpu_s,
+                attrs,
+            )
+        )
+
+    def spans(self) -> List[Span]:
+        """Recorded spans, oldest first (ring wrap accounted for)."""
+        if self._next == 0:
+            return list(self._buf)
+        return self._buf[self._next :] + self._buf[: self._next]
+
+    def last_span(self) -> Optional[Span]:
+        if not self._buf:
+            return None
+        return self._buf[self._next - 1]
+
+    def clear(self) -> None:
+        self._buf = []
+        self._next = 0
+        self.dropped = 0
+        self._depth = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Cross-process shipping
+    # ------------------------------------------------------------------
+    def export_spans(self) -> Tuple[List[SpanTuple], int]:
+        """``(span tuples, dropped)`` in record order — picklable."""
+        return [s.as_tuple() for s in self.spans()], self.dropped
+
+    def import_spans(
+        self, payload: Tuple[List[SpanTuple], int], rebase: bool = True
+    ) -> None:
+        """Merge spans exported elsewhere (a worker, a nested observer).
+
+        Depths are offset by the current open depth, so imported spans
+        nest under whatever span is open at merge time; the exit-order
+        invariant is preserved because the open parent's own record is
+        appended later.  ``rebase`` shifts the imported ``start_s``
+        offsets onto this tracer's clock (start times across processes
+        are volatile either way).
+        """
+        spans, dropped = payload
+        self.dropped += dropped
+        if not spans:
+            return
+        offset = self._depth
+        shift = 0.0
+        if rebase:
+            shift = (time.perf_counter() - self._epoch) - spans[0][2]
+        for name, depth, start_s, wall_s, cpu_s, attrs in spans:
+            self._record(
+                Span(name, depth + offset, start_s + shift, wall_s, cpu_s, attrs)
+            )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths check ``tracer.enabled`` (one attribute lookup); coarse
+    paths may call :meth:`trace` / :meth:`add_span` directly and pay one
+    method call.
+    """
+
+    enabled = False
+    dropped = 0
+    capacity = 0
+    depth = 0
+
+    def trace(self, name: str, **attrs: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def add_span(
+        self, name: str, wall_s: float, cpu_s: float = 0.0, **attrs: Any
+    ) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def last_span(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def export_spans(self) -> Tuple[List[SpanTuple], int]:
+        return [], 0
+
+    def import_spans(self, payload: Any, rebase: bool = True) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# Ambient observation (process-global; workers install their own)
+# ----------------------------------------------------------------------
+_CURRENT_TRACER: Any = NULL_TRACER
+_CURRENT_METRICS: Any = None
+
+
+def current_tracer():
+    """The ambient tracer (the null tracer unless :func:`observe` is active)."""
+    return _CURRENT_TRACER
+
+
+def current_metrics():
+    """The ambient metrics registry, or ``None``."""
+    return _CURRENT_METRICS
+
+
+class _Observation:
+    """Context manager installing an ambient tracer/metrics pair."""
+
+    __slots__ = ("tracer", "metrics", "_prev")
+
+    def __init__(self, tracer: Any, metrics: Any) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+
+    def __enter__(self) -> "_Observation":
+        global _CURRENT_TRACER, _CURRENT_METRICS
+        self._prev = (_CURRENT_TRACER, _CURRENT_METRICS)
+        _CURRENT_TRACER = self.tracer
+        _CURRENT_METRICS = self.metrics
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _CURRENT_TRACER, _CURRENT_METRICS
+        _CURRENT_TRACER, _CURRENT_METRICS = self._prev
+
+
+def observe(tracer=None, metrics=None) -> _Observation:
+    """Install ``tracer``/``metrics`` as the ambient observers.
+
+    ::
+
+        tracer, registry = Tracer(), MetricsRegistry()
+        with observe(tracer, registry):
+            dcc_schedule(...)   # picks the pair up ambiently
+    """
+    return _Observation(tracer, metrics)
+
+
+def traced(
+    name: Optional[str] = None, **attrs: Any
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: wrap each call of ``fn`` in a span on the ambient tracer.
+
+    ::
+
+        @traced("analysis.prepare", layer="analysis")
+        def prepare(...): ...
+
+    When the ambient tracer is disabled the wrapper costs one global
+    lookup and a branch.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _CURRENT_TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.trace(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

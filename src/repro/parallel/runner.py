@@ -24,6 +24,15 @@ contract:
   :class:`~repro.topology.TopologyCounters` deltas with their results;
   the caller merges them into its own counters, so instrumentation is a
   complete account of the run no matter where the work executed.
+* **Observations merge back the same way.**  When the ambient tracer is
+  enabled (or an ambient metrics registry is installed — see
+  :func:`repro.obs.tracer.observe`), every task runs under a fresh
+  capture-local :class:`~repro.obs.tracer.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry` whose contents ship back
+  with the result and merge in *submission order* — in both the
+  worker-pool path and the serial inline path, so a serial run and a
+  fanned-out run produce identical run-reports once the volatile
+  wall-clock fields are stripped (DESIGN.md section 6).
 
 Verdicts are deterministic functions of ``(graph, tau)``, so the fan-out
 changes *where* they are computed but never *what* they are — schedules
@@ -46,6 +55,14 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    observe,
+)
 from repro.topology import TopologyCounters
 
 
@@ -82,6 +99,22 @@ def chunk_evenly(items: Sequence[Any], chunks: int) -> List[Sequence[Any]]:
     return out
 
 
+def _observed_call(func: Callable[..., Any], *args: Any) -> Tuple[Any, Any, Any]:
+    """Run one task under a fresh capture-local observation.
+
+    Installs a per-task :class:`Tracer` / :class:`MetricsRegistry` pair
+    as the ambient observers for the duration of the call and returns
+    their picklable exports with the result.  Used identically by the
+    worker-pool and serial-inline paths of :func:`parallel_starmap`, so
+    what gets captured does not depend on where the task ran.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with observe(tracer, metrics):
+        result = func(*args)
+    return result, tracer.export_spans(), metrics.to_payload()
+
+
 def parallel_starmap(
     func: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
@@ -97,17 +130,47 @@ def parallel_starmap(
     — including ``initializer``, so warm-state task functions behave
     identically.  Exceptions propagate from the first failing task in
     *submission* order; later tasks may already have run.
+
+    When the *caller's* ambient tracer is enabled (or an ambient metrics
+    registry is installed), every task is wrapped in
+    :func:`_observed_call`: its spans import under a ``fanout.task``
+    span and its metrics merge into the ambient registry, always in
+    submission order.  The serial inline path performs the identical
+    capture-and-merge, which is what makes run-reports worker-count
+    invariant modulo wall-clock fields.
     """
     count = resolve_workers(workers)
+    tracer = current_tracer()
+    metrics = current_metrics()
+    capture = tracer.enabled or metrics is not None
+
+    def consume(index: int, observed: Tuple[Any, Any, Any]) -> Any:
+        result, spans, rows = observed
+        with tracer.trace("fanout.task", task=index):
+            tracer.import_spans(spans)
+        if metrics is not None:
+            metrics.merge_payload(rows)
+        return result
+
     if count <= 1 or len(tasks) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [func(*task) for task in tasks]
+        if not capture:
+            return [func(*task) for task in tasks]
+        return [
+            consume(i, _observed_call(func, *task))
+            for i, task in enumerate(tasks)
+        ]
     with ProcessPoolExecutor(
         max_workers=count, initializer=initializer, initargs=initargs
     ) as pool:
-        futures = [pool.submit(func, *task) for task in tasks]
-        return [future.result() for future in futures]
+        if not capture:
+            futures = [pool.submit(func, *task) for task in tasks]
+            return [future.result() for future in futures]
+        futures = [pool.submit(_observed_call, func, *task) for task in tasks]
+        return [
+            consume(i, future.result()) for i, future in enumerate(futures)
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -147,19 +210,35 @@ def _init_schedule_worker(blob: bytes, tau: int) -> None:
 
 
 def _test_candidates(
-    log: Tuple[int, ...], chunk: Sequence[int]
-) -> Tuple[List[int], List[bool], Dict[str, int]]:
-    """Verdicts for ``chunk`` after replaying the missing log suffix."""
+    log: Tuple[int, ...], chunk: Sequence[int], capture: bool = False
+) -> Tuple[List[int], List[bool], Dict[str, int], Optional[Any]]:
+    """Verdicts for ``chunk`` after replaying the missing log suffix.
+
+    With ``capture`` a fresh worker-local tracer observes the chunk's
+    engine work (verdict and kernel spans) and its export rides back
+    with the counter delta; the warm engine is detached from the tracer
+    afterwards so later uncaptured rounds pay the null-tracer guard only.
+    """
     global _WORKER_APPLIED
     engine = _WORKER_ENGINE
     for v in log[_WORKER_APPLIED:]:
         engine.delete_vertex(v)
     _WORKER_APPLIED = len(log)
     before = engine.counters.as_dict()
-    verdicts = [engine.deletable(v) for v in chunk]
+    trace_payload: Optional[Any] = None
+    if capture:
+        tracer = Tracer()
+        engine.set_observers(tracer=tracer)
+        try:
+            verdicts = [engine.deletable(v) for v in chunk]
+        finally:
+            engine.set_observers(tracer=NULL_TRACER)
+        trace_payload = tracer.export_spans()
+    else:
+        verdicts = [engine.deletable(v) for v in chunk]
     after = engine.counters.as_dict()
     delta = {name: after[name] - before[name] for name in after}
-    return list(chunk), verdicts, delta
+    return list(chunk), verdicts, delta, trace_payload
 
 
 class ScheduleFanout:
@@ -172,10 +251,13 @@ class ScheduleFanout:
     context manager so the pool is torn down on any exit path.
     """
 
-    def __init__(self, graph, tau: int, workers: int) -> None:
+    def __init__(
+        self, graph, tau: int, workers: int, capture: bool = False
+    ) -> None:
         if workers < 2:
             raise ValueError("ScheduleFanout needs at least 2 workers")
         self.workers = workers
+        self.capture = capture
         self._log: List[int] = []
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
@@ -187,19 +269,31 @@ class ScheduleFanout:
         self._log.extend(batch)
 
     def verdicts(
-        self, candidates: Sequence[int], counters: TopologyCounters
+        self,
+        candidates: Sequence[int],
+        counters: TopologyCounters,
+        tracer=None,
     ) -> Dict[int, bool]:
-        """Deletability of every candidate on the current logged graph."""
+        """Deletability of every candidate on the current logged graph.
+
+        With a ``capture``-enabled fan-out and an enabled ``tracer``,
+        each worker chunk's spans import under a ``fanout.chunk`` span
+        in submission order.
+        """
         log = tuple(self._log)
+        capture = self.capture and tracer is not None and tracer.enabled
         futures = [
-            self._pool.submit(_test_candidates, log, chunk)
+            self._pool.submit(_test_candidates, log, chunk, capture)
             for chunk in chunk_evenly(list(candidates), self.workers)
         ]
         out: Dict[int, bool] = {}
-        for future in futures:
-            chunk, verdicts, delta = future.result()
+        for index, future in enumerate(futures):
+            chunk, verdicts, delta, trace_payload = future.result()
             out.update(zip(chunk, verdicts))
             counters.merge(TopologyCounters(**delta))
+            if trace_payload is not None:
+                with tracer.trace("fanout.chunk", chunk=index, size=len(chunk)):
+                    tracer.import_spans(trace_payload)
         return out
 
     def close(self) -> None:

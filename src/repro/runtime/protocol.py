@@ -64,12 +64,19 @@ class _LocalView:
         tau: Optional[int] = None,
         counters: Optional[TopologyCounters] = None,
         span_memo: Optional[SpanMemo] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.adjacency: Dict[int, FrozenSet[int]] = {}
         self._engine: Optional[LocalTopologyEngine] = None
         if tau is not None:
             self._engine = LocalTopologyEngine(
-                NetworkGraph(), tau, counters=counters, span_memo=span_memo
+                NetworkGraph(),
+                tau,
+                counters=counters,
+                span_memo=span_memo,
+                tracer=tracer,
+                metrics=metrics,
             )
 
     def merge(self, rows: Tuple[Tuple[int, FrozenSet[int]], ...]) -> bool:
@@ -128,8 +135,13 @@ class DistributedDCC:
         rng: Optional[random.Random] = None,
         max_iterations: int = 10_000,
         seed: int = 0,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        self.sim = Simulator(graph)
+        self.sim = Simulator(graph, tracer=tracer, metrics=metrics)
+        # Share the simulator's resolved observers (ambient by default).
+        self.tracer = self.sim.tracer
+        self.metrics = self.sim.metrics
         self.protected = set(protected)
         self.tau = tau
         self.k = deletion_radius(tau)
@@ -145,21 +157,34 @@ class DistributedDCC:
 
     # ------------------------------------------------------------------
     def run(self) -> DistributedResult:
-        self._discover_topology()
+        tracer = self.tracer
+        with tracer.trace("protocol.discovery", k=self.k):
+            self._discover_topology()
         removed: List[int] = []
         iterations = 0
         while iterations < self.max_iterations:
             iterations += 1
             self.sim.stats.deletion_iterations += 1
-            candidates = self._local_candidates()
-            if not candidates:
-                break
-            winners = distributed_mis(self.sim, candidates, self.m, self.rng)
-            self._announce_deletions(winners)
-            for winner in winners:
-                self.sim.deactivate(winner)
-                self.views.pop(winner, None)
-            removed.extend(winners)
+            with tracer.trace(
+                "protocol.iteration", round=iterations
+            ) as iteration:
+                candidates = self._local_candidates()
+                iteration.set(candidates=len(candidates))
+                if not candidates:
+                    break
+                winners = distributed_mis(
+                    self.sim, candidates, self.m, self.rng
+                )
+                iteration.set(winners=len(winners))
+                self._announce_deletions(winners)
+                for winner in winners:
+                    self.sim.deactivate(winner)
+                    self.views.pop(winner, None)
+                removed.extend(winners)
+        if self.metrics is not None:
+            self.metrics.inc("protocol.runs")
+            self.metrics.inc("protocol.deletions", len(removed))
+            self.metrics.absorb_runtime(self.sim.stats)
         return DistributedResult(
             active=self.sim.graph.copy(),
             removed=removed,
@@ -178,7 +203,10 @@ class DistributedDCC:
         sim = self.sim
         for node in sim.active:
             view = _LocalView(
-                self.tau, counters=self.counters, span_memo=self.span_memo
+                self.tau,
+                counters=self.counters,
+                span_memo=self.span_memo,
+                tracer=self.tracer,
             )
             view.merge(((node, frozenset(sim.graph.neighbors(node))),))
             self.views[node] = view

@@ -9,22 +9,36 @@ moves messages and counts them.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import Dict, Iterable, List, Set
 
 from repro.network.graph import NetworkGraph
+from repro.obs.tracer import current_metrics, current_tracer
 from repro.runtime.messages import Message
 from repro.runtime.stats import RuntimeStats
 
 
 class Simulator:
-    """Synchronous broadcast rounds over a (mutable) topology."""
+    """Synchronous broadcast rounds over a (mutable) topology.
 
-    def __init__(self, graph: NetworkGraph) -> None:
+    ``tracer`` / ``metrics`` default to the ambient observers.  When
+    observing, every :meth:`step` records a ``runtime.round`` span plus
+    per-round message-volume histograms (``runtime.messages_per_round``,
+    ``runtime.delivered_per_round`` and per-kind
+    ``runtime.round_messages.<kind>``) — all deterministic at a fixed
+    seed, so they survive run-report determinism comparisons.
+    """
+
+    def __init__(
+        self, graph: NetworkGraph, tracer=None, metrics=None
+    ) -> None:
         self.graph = graph.copy()
         self.active: Set[int] = graph.vertex_set()
         self.inboxes: Dict[int, List[Message]] = defaultdict(list)
         self.outboxes: Dict[int, List[Message]] = defaultdict(list)
         self.stats = RuntimeStats()
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics if metrics is not None else current_metrics()
 
     def send(self, message: Message) -> None:
         """Queue a local broadcast for delivery next round."""
@@ -40,8 +54,15 @@ class Simulator:
 
     def step(self) -> int:
         """Deliver all queued messages; returns the number delivered."""
+        tracer = self.tracer
+        metrics = self.metrics
+        observing = tracer.enabled or metrics is not None
+        start = perf_counter() if observing else 0.0
         self.stats.rounds += 1
+        round_no = self.stats.rounds
+        broadcasts = 0
         delivered = 0
+        by_kind: Dict[str, int] = {}
         new_inboxes: Dict[int, List[Message]] = defaultdict(list)
         for src, queue in self.outboxes.items():
             if src not in self.active:
@@ -50,12 +71,32 @@ class Simulator:
                 v for v in self.graph.neighbors(src) if v in self.active
             ]
             for message in queue:
-                self.stats.record_send(message.kind.value, len(neighbors))
+                kind = message.kind.value
+                self.stats.record_send(kind, len(neighbors))
+                broadcasts += 1
+                if observing:
+                    by_kind[kind] = by_kind.get(kind, 0) + 1
                 for v in neighbors:
                     new_inboxes[v].append(message)
                     delivered += 1
         self.outboxes = defaultdict(list)
         self.inboxes = new_inboxes
+        if observing:
+            if metrics is not None:
+                metrics.observe("runtime.messages_per_round", broadcasts)
+                metrics.observe("runtime.delivered_per_round", delivered)
+                for kind in sorted(by_kind):
+                    metrics.observe(
+                        f"runtime.round_messages.{kind}", by_kind[kind]
+                    )
+            if tracer.enabled:
+                tracer.add_span(
+                    "runtime.round",
+                    perf_counter() - start,
+                    round=round_no,
+                    messages=broadcasts,
+                    delivered=delivered,
+                )
         return delivered
 
     def inbox(self, node: int) -> List[Message]:

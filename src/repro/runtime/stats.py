@@ -20,10 +20,19 @@ class RuntimeStats:
     #: aggregated local-topology work across every node's engine
     topology: TopologyCounters = field(default_factory=TopologyCounters)
 
-    def record_send(self, kind: str, deliveries: int) -> None:
-        self.messages_sent += 1
+    def record_send(self, kind: str, deliveries: int, count: int = 1) -> None:
+        """Account for ``count`` local broadcasts of one message kind.
+
+        Sent-vs-delivered semantics: ``messages_sent`` counts *radio
+        broadcasts* (one per transmitted message, regardless of how many
+        neighbours hear it), while ``messages_delivered`` counts
+        *receptions* (one per listening neighbour).  A broadcast to an
+        empty neighbourhood is still sent, just never delivered.
+        ``messages_by_kind`` partitions the sent count.
+        """
+        self.messages_sent += count
         self.messages_delivered += deliveries
-        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
 
     def merge(self, other: "RuntimeStats") -> None:
         self.rounds += other.rounds
@@ -40,8 +49,10 @@ class RuntimeStats:
         kinds = ", ".join(
             f"{kind}={count}" for kind, count in sorted(self.messages_by_kind.items())
         )
+        # An empty kind breakdown used to render as a bare "[]"; omit it.
+        breakdown = f" [{kinds}]" if kinds else ""
         return (
             f"rounds={self.rounds} sent={self.messages_sent} "
-            f"delivered={self.messages_delivered} [{kinds}] | "
+            f"delivered={self.messages_delivered}{breakdown} | "
             f"{self.topology.summary()}"
         )

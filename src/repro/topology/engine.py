@@ -36,10 +36,12 @@ stay correct even then.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph
+from repro.obs.tracer import NULL_TRACER
 from repro.topology.counters import TopologyCounters
 from repro.topology.signature import SpanMemo, graph_signature
 
@@ -98,9 +100,13 @@ class LocalTopologyEngine:
         cache_verdicts: bool = True,
         memoize_spans: Optional[bool] = None,
         use_kernel: bool = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.graph = graph
         self.tau = tau
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.radius = neighborhood_radius(tau)
         self.counters = counters if counters is not None else TopologyCounters()
         self.span_memo = span_memo if span_memo is not None else SpanMemo()
@@ -111,12 +117,32 @@ class LocalTopologyEngine:
         self.memoize_spans = memoize_spans
         self.use_kernel = use_kernel
         self._kernel = graph.csr() if use_kernel else None
+        if self._kernel is not None and self.tracer.enabled:
+            self._kernel.tracer = self.tracer
         self._balls: Dict[BallKey, FrozenSet[int]] = {}
         self._owners: Dict[int, Set[BallKey]] = {}
         self._verdicts: Dict[int, bool] = {}
         self._full_span: Optional[ShortCycleSpan] = None
         self._full_span_version = -1
         self._version = graph.version
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def set_observers(self, tracer=None, metrics=None) -> None:
+        """Attach a tracer and/or metrics registry after construction.
+
+        Timing is recorded only while ``tracer.enabled`` (or a registry
+        is attached): the disabled path pays two attribute lookups per
+        fresh verdict.  The tracer is propagated to the kernel mirror so
+        its ball-BFS and span-verdict spans nest under the engine's.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+        if self._kernel is not None:
+            self._kernel.tracer = self.tracer if self.tracer.enabled else None
 
     # ------------------------------------------------------------------
     # Cache maintenance
@@ -134,6 +160,8 @@ class LocalTopologyEngine:
         self._verdicts.clear()
         if self.use_kernel:
             self._kernel = self.graph.csr()
+            if self.tracer.enabled:
+                self._kernel.tracer = self.tracer
         self._version = self.graph.version
 
     def _invalidate_member(self, w: int) -> None:
@@ -288,6 +316,27 @@ class LocalTopologyEngine:
             self.counters.deletability_cache_hits += 1
             return cached
         self.counters.deletability_tests += 1
+        tracer = self.tracer
+        metrics = self.metrics
+        if tracer.enabled or metrics is not None:
+            # Observed path: span + wall-time histogram per fresh verdict.
+            start = perf_counter()
+            if tracer.enabled:
+                with tracer.trace("engine.verdict", vertex=v):
+                    verdict = self._fresh_verdict(v)
+            else:
+                verdict = self._fresh_verdict(v)
+            if metrics is not None:
+                metrics.observe(
+                    "engine.verdict_wall_s", perf_counter() - start, volatile=True
+                )
+        else:
+            verdict = self._fresh_verdict(v)
+        if self.cache_verdicts:
+            self._verdicts[v] = verdict
+        return verdict
+
+    def _fresh_verdict(self, v: int) -> bool:
         if self.use_kernel and not self.cache_balls:
             # Slot-native path: the punctured neighbourhood never leaves
             # slot space (no frozensets, no id round-trips).
@@ -295,13 +344,8 @@ class LocalTopologyEngine:
             slots = kernel.punctured_ball_slots(v, self.radius)
             self.counters.ball_computations += 1
             self.counters.bfs_expansions += len(slots) + 1
-            verdict = self._verdict_from_slots(kernel, slots)
-        else:
-            neighborhood = self.punctured_neighborhood(v)
-            verdict = self._neighborhood_verdict(neighborhood)
-        if self.cache_verdicts:
-            self._verdicts[v] = verdict
-        return verdict
+            return self._verdict_from_slots(kernel, slots)
+        return self._neighborhood_verdict(self.punctured_neighborhood(v))
 
     def _verdict_from_slots(self, kernel, slots: List[int]) -> bool:
         if not slots:
@@ -391,6 +435,8 @@ class LocalTopologyEngine:
             cache_verdicts=self.cache_verdicts,
             memoize_spans=self.memoize_spans,
             use_kernel=self.use_kernel,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         clone._balls = dict(self._balls)
         clone._owners = {m: set(keys) for m, keys in self._owners.items()}

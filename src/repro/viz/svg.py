@@ -64,6 +64,20 @@ class SvgCanvas:
         self._track(*center)
         self.elements.append(("square", center[0], center[1], half_px, fill))  # type: ignore[arg-type]
 
+    def rect(
+        self,
+        corner: Position,
+        width: float,
+        height: float,
+        fill: str = "#1f77b4",
+    ) -> None:
+        """An axis-aligned world-coordinate rectangle (corner = bottom-left)."""
+        self._track(*corner)
+        self._track(corner[0] + width, corner[1] + height)
+        self.elements.append(
+            ("rect", corner[0], corner[1], width, height, fill)  # type: ignore[arg-type]
+        )
+
     def label(self, anchor: Position, text: str, size_px: int = 12) -> None:
         self._track(*anchor)
         self.elements.append(("text", anchor[0], anchor[1], _escape(text), size_px))  # type: ignore[arg-type]
@@ -115,6 +129,17 @@ class SvgCanvas:
                     parts.append(
                         f'<rect x="{px - half:.1f}" y="{py - half:.1f}" '
                         f'width="{2 * half}" height="{2 * half}" fill="{fill}"/>'
+                    )
+                elif kind == "rect":
+                    __, x, y, w, h, fill = element
+                    # Transform both corners; y flips, so the rendered
+                    # top-left is the world top-left corner.
+                    px, py = transform(x, y + h)
+                    px2, py2 = transform(x + w, y)
+                    parts.append(
+                        f'<rect x="{px:.1f}" y="{py:.1f}" '
+                        f'width="{px2 - px:.1f}" height="{py2 - py:.1f}" '
+                        f'fill="{fill}"/>'
                     )
                 elif kind == "text":
                     __, x, y, text, size = element

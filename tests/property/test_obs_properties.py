@@ -1,0 +1,143 @@
+"""Property tests for the observability layer's determinism contract.
+
+The headline guarantee (DESIGN.md section 6): at a fixed seed, a sweep's
+run-report is identical at any worker count once
+:func:`repro.obs.export.strip_volatile` removes the wall-clock fields —
+span structure, call counts, merged counters and histogram contents all
+survive the serial-to-fanned-out transition byte-for-byte.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweeps import parameter_grid, run_sweep
+from repro.core.scheduler import dcc_schedule
+from repro.network.deployment import Rectangle, build_network
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_run_report,
+    observe,
+    strip_volatile,
+    validate_run_report,
+)
+
+
+def _schedule_cell(count, seed):
+    """Module-level (picklable) sweep cell: one small DCC schedule."""
+    net = build_network(count, Rectangle(0, 0, 4.2, 4.2), 1.0, 1.0, seed=seed)
+    result = dcc_schedule(
+        net.graph, set(net.boundary_nodes), 4, rng=random.Random(seed)
+    )
+    return {"num_active": result.num_active, "rounds": result.rounds}
+
+
+def _report_for(workers, counts, seeds, tmp_path):
+    out = tmp_path / f"workers{workers}"
+    run_sweep(
+        _schedule_cell,
+        parameter_grid(count=counts),
+        seeds=seeds,
+        workers=workers,
+        report_dir=str(out),
+        report_name="cells",
+    )
+    report = load_run_report(str(out / "cells.json"))
+    validate_run_report(report)
+    return report
+
+
+class TestReportWorkerInvariance:
+    @given(
+        counts=st.lists(
+            st.integers(min_value=25, max_value=45),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=10),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_serial_and_fanned_reports_agree(self, counts, seeds, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("obs-reports")
+        serial = _report_for(1, counts, tuple(seeds), tmp_path)
+        fanned = _report_for(2, counts, tuple(seeds), tmp_path)
+        # Wall-clock aside, the observations must be indistinguishable.
+        assert strip_volatile(serial) == strip_volatile(fanned)
+        # The raw reports differ only in the volatile fields: the span
+        # structure itself (names, call counts) already agrees.
+        assert sorted(serial["phases"]) == sorted(fanned["phases"])
+        for phase in serial["phases"]:
+            assert (
+                serial["phases"][phase]["calls"]
+                == fanned["phases"][phase]["calls"]
+            )
+
+    def test_ambient_merge_preserves_structure(self, tmp_path):
+        """A reported sweep inside an observation leaves its spans behind."""
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with observe(tracer, metrics):
+            run_sweep(
+                _schedule_cell,
+                parameter_grid(count=(30,)),
+                seeds=(0,),
+                workers=1,
+                report_dir=str(tmp_path),
+                report_name="ambient",
+            )
+        names = {span.name for span in tracer.spans()}
+        assert "sweep.run" in names
+        assert "fanout.task" in names
+        assert "scheduler.round" in names
+        assert metrics.counter("scheduler.runs").value == 1
+
+
+class TestSpanStreamProperties:
+    @given(
+        shape=st.recursive(
+            st.just([]),
+            lambda children: st.lists(children, min_size=1, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exit_order_invariant_for_any_nesting(self, shape):
+        """However spans nest, children always precede their parent."""
+        tracer = Tracer()
+
+        def walk(nodes):
+            for i, node in enumerate(nodes):
+                with tracer.trace(f"span{tracer.depth}.{i}"):
+                    walk(node)
+
+        walk(shape)
+        spans = tracer.spans()
+        # Scanning backwards, depth may rise by at most one per step —
+        # exactly the property the profile tree and phase aggregation
+        # reconstruction rely on.
+        for later, earlier in zip(spans[::-1], spans[-2::-1]):
+            assert earlier.depth <= later.depth + 1
+
+    @given(
+        walls=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ring_buffer_conserves_span_count(self, walls, capacity):
+        tracer = Tracer(capacity=capacity)
+        for i, wall in enumerate(walls):
+            tracer.add_span(f"s{i}", wall)
+        assert len(tracer.spans()) == min(len(walls), capacity)
+        assert len(tracer.spans()) + tracer.dropped == len(walls)
+        # The survivors are exactly the newest spans, oldest first.
+        expect = [f"s{i}" for i in range(len(walls))][-capacity:]
+        assert [s.name for s in tracer.spans()] == expect

@@ -1,0 +1,512 @@
+"""Unit tests for the observability layer: tracer, metrics, export.
+
+The layer's contracts, each pinned here:
+
+* spans record at *exit* in child-before-parent order (the nesting
+  invariant every consumer relies on);
+* the ring buffer drops the *oldest* spans and counts the drops;
+* the null tracer is free-ish and structurally inert;
+* metric merging is associative and submission-ordered;
+* run-reports are schema-stable and, after :func:`strip_volatile`,
+  deterministic.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    RUN_REPORT_SCHEMA,
+    SchemaError,
+    TRACE_SCHEMA,
+    Tracer,
+    build_run_report,
+    current_metrics,
+    current_tracer,
+    load_run_report,
+    merge_json_entry,
+    observe,
+    phase_aggregates,
+    profile_summary,
+    read_trace_jsonl,
+    render_timeline,
+    strip_volatile,
+    timeline_from_tracer,
+    traced,
+    validate_run_report,
+    write_run_report,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import Span
+from repro.runtime.stats import RuntimeStats
+from repro.topology import TopologyCounters
+
+
+def _span(name, depth, wall_s, start_s=0.0, cpu_s=0.0, **attrs):
+    return Span(name, depth, start_s, wall_s, cpu_s, attrs)
+
+
+class TestTracer:
+    def test_exit_order_nesting(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+            with tracer.trace("inner"):
+                pass
+        names = [(s.name, s.depth) for s in tracer.spans()]
+        assert names == [("inner", 1), ("inner", 1), ("outer", 0)]
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.trace("phase", fixed=1) as handle:
+            handle.set(discovered=2)
+        (span,) = tracer.spans()
+        assert span.attrs == {"fixed": 1, "discovered": 2}
+
+    def test_wall_time_measures_the_block(self):
+        tracer = Tracer()
+        with tracer.trace("sleep"):
+            time.sleep(0.01)
+        (span,) = tracer.spans()
+        assert span.wall_s >= 0.009
+
+    def test_depth_property_tracks_open_spans(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.trace("a"):
+            assert tracer.depth == 1
+            with tracer.trace("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.add_span(f"s{i}", 0.0)
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+        assert tracer.last_span().name == "s4"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_add_span_records_at_current_depth(self):
+        tracer = Tracer()
+        with tracer.trace("round"):
+            tracer.add_span("leaf", 0.5, cpu_s=0.25, round=3)
+        leaf, parent = tracer.spans()
+        assert (leaf.name, leaf.depth, leaf.wall_s, leaf.cpu_s) == (
+            "leaf",
+            1,
+            0.5,
+            0.25,
+        )
+        assert leaf.attrs == {"round": 3}
+        assert parent.depth == 0
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(capacity=2)
+        for i in range(4):
+            tracer.add_span(f"s{i}", 0.0)
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+        assert tracer.last_span() is None
+
+    def test_export_import_round_trip_offsets_depth(self):
+        worker = Tracer()
+        with worker.trace("work", task=1):
+            worker.add_span("step", 0.1)
+        payload = worker.export_spans()
+
+        merged = Tracer()
+        with merged.trace("fanout.task"):
+            merged.import_spans(payload)
+        spans = merged.spans()
+        # Imported spans nest under the open fanout.task span.
+        assert [(s.name, s.depth) for s in spans] == [
+            ("step", 2),
+            ("work", 1),
+            ("fanout.task", 0),
+        ]
+        assert spans[1].attrs == {"task": 1}
+
+    def test_import_accumulates_dropped(self):
+        source = Tracer(capacity=1)
+        source.add_span("a", 0.0)
+        source.add_span("b", 0.0)
+        sink = Tracer()
+        sink.import_spans(source.export_spans())
+        assert sink.dropped == 1
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.trace("anything", key=1) as handle:
+            handle.set(more=2)
+        NULL_TRACER.add_span("leaf", 1.0)
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.last_span() is None
+        assert NULL_TRACER.export_spans() == ([], 0)
+
+    def test_shared_handle(self):
+        # One no-op handle is shared; trace() allocates nothing per call.
+        assert NULL_TRACER.trace("a") is NULL_TRACER.trace("b")
+
+
+class TestAmbientObservation:
+    def test_defaults(self):
+        assert current_tracer() is NULL_TRACER
+        assert current_metrics() is None
+
+    def test_observe_installs_and_restores(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with observe(tracer, metrics):
+            assert current_tracer() is tracer
+            assert current_metrics() is metrics
+            inner = Tracer()
+            with observe(inner):
+                assert current_tracer() is inner
+                assert current_metrics() is None
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+        assert current_metrics() is None
+
+    def test_observe_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with observe(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+    def test_traced_decorator(self):
+        @traced("unit.fn", layer="test")
+        def fn(x):
+            return x + 1
+
+        # Disabled ambient tracer: plain call, nothing recorded.
+        assert fn(1) == 2
+        tracer = Tracer()
+        with observe(tracer):
+            assert fn(2) == 3
+        (span,) = tracer.spans()
+        assert span.name == "unit.fn"
+        assert span.attrs == {"layer": "test"}
+
+    def test_traced_default_name(self):
+        @traced()
+        def named_fn():
+            return None
+
+        tracer = Tracer()
+        with observe(tracer):
+            named_fn()
+        assert "named_fn" in tracer.spans()[0].name
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 2.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        assert reg.counter("c").value == 5
+        assert reg.gauge("g").value == 2.5
+        assert reg.histogram("h").count == 2
+        assert reg.names() == ["c", "g", "h"]
+        assert "c" in reg and "missing" not in reg
+        assert len(reg) == 3
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(TypeError):
+            reg.observe("x", 1.0)
+        with pytest.raises(TypeError):
+            reg.set_gauge("x", 1.0)
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        for v in (4.0, 1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        out = reg.as_dict()["h"]
+        assert out["min"] == 1.0 and out["max"] == 4.0
+        assert out["mean"] == 2.5 and out["total"] == 10.0
+        assert out["p50"] in (2.0, 3.0)
+
+    def test_volatile_flag_sticks(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.observe("h", 2.0, volatile=True)
+        assert reg.histogram("h").volatile is True
+
+    def test_merge_is_associative(self):
+        def make(seed_values):
+            reg = MetricsRegistry()
+            for v in seed_values:
+                reg.inc("count", v)
+                reg.observe("dist", float(v))
+            reg.set_gauge("last", seed_values[-1])
+            return reg
+
+        a, b, c = make([1, 2]), make([3]), make([4, 5])
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+
+        bc = make([3])
+        bc.merge(make([4, 5]))
+        right = MetricsRegistry()
+        right.merge(make([1, 2]))
+        right.merge(bc)
+        assert left.as_dict() == right.as_dict()
+
+    def test_merge_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x")
+        b.observe("x", 1.0)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_gauge_merge_is_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b.gauge("g")  # present but never set: must not clobber
+        a.merge(b)
+        assert a.gauge("g").value == 1.0
+        c = MetricsRegistry()
+        c.set_gauge("g", 9.0)
+        a.merge(c)
+        assert a.gauge("g").value == 9.0
+
+    def test_payload_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 7.0)
+        reg.observe("h", 1.5, volatile=True)
+        other = MetricsRegistry()
+        other.merge_payload(reg.to_payload())
+        assert other.as_dict() == reg.as_dict()
+
+    def test_payload_merge_matches_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c")
+        a.observe("h", 1.0)
+        b.inc("c", 2)
+        b.observe("h", 2.0)
+        via_merge = MetricsRegistry()
+        via_merge.merge(a)
+        via_merge.merge(b)
+        via_payload = MetricsRegistry()
+        via_payload.merge_payload(a.to_payload())
+        via_payload.merge_payload(b.to_payload())
+        assert via_merge.as_dict() == via_payload.as_dict()
+
+    def test_absorb_topology_skips_zeros(self):
+        reg = MetricsRegistry()
+        reg.absorb_topology(TopologyCounters(deletability_tests=3))
+        assert reg.names() == ["topology.deletability_tests"]
+        assert reg.counter("topology.deletability_tests").value == 3
+
+    def test_absorb_runtime(self):
+        stats = RuntimeStats()
+        stats.rounds = 2
+        stats.record_send("hello", deliveries=3)
+        stats.topology.span_computations = 5
+        reg = MetricsRegistry()
+        reg.absorb_runtime(stats)
+        out = reg.as_dict()
+        assert out["runtime.rounds"]["value"] == 2
+        assert out["runtime.messages_sent"]["value"] == 1
+        assert out["runtime.messages_delivered"]["value"] == 3
+        assert out["runtime.messages_by_kind.hello"]["value"] == 1
+        assert out["topology.span_computations"]["value"] == 5
+
+
+class TestRuntimeStatsSemantics:
+    def test_record_send_counts_broadcasts_and_receptions(self):
+        stats = RuntimeStats()
+        stats.record_send("probe", deliveries=4)
+        stats.record_send("probe", deliveries=0, count=2)
+        assert stats.messages_sent == 3
+        assert stats.messages_delivered == 4
+        assert stats.messages_by_kind == {"probe": 3}
+
+    def test_summary_omits_empty_breakdown(self):
+        stats = RuntimeStats()
+        assert "[]" not in stats.summary()
+        stats.record_send("probe", deliveries=1)
+        assert "[probe=1]" in stats.summary()
+
+
+class TestPhaseAggregates:
+    def test_exclusive_time_subtracts_children(self):
+        spans = [
+            _span("child", 1, 0.3),
+            _span("child", 1, 0.2),
+            _span("parent", 0, 1.0),
+        ]
+        out = phase_aggregates(spans)
+        assert out["parent"]["calls"] == 1
+        assert out["parent"]["wall_s"] == pytest.approx(1.0)
+        assert out["parent"]["exclusive_s"] == pytest.approx(0.5)
+        assert out["child"]["calls"] == 2
+        assert out["child"]["exclusive_s"] == pytest.approx(0.5)
+
+    def test_deep_nesting_attributes_to_direct_parent(self):
+        spans = [
+            _span("leaf", 2, 0.1),
+            _span("mid", 1, 0.4),
+            _span("root", 0, 1.0),
+        ]
+        out = phase_aggregates(spans)
+        assert out["mid"]["exclusive_s"] == pytest.approx(0.3)
+        assert out["root"]["exclusive_s"] == pytest.approx(0.6)
+
+    def test_names_sorted(self):
+        spans = [_span("b", 0, 0.1), _span("a", 0, 0.1)]
+        assert list(phase_aggregates(spans)) == ["a", "b"]
+
+
+class TestExport:
+    def test_trace_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.trace("outer", key="v"):
+            tracer.add_span("inner", 0.25)
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(tracer, str(path))
+        assert count == 2
+        header, records = read_trace_jsonl(str(path))
+        assert header == {"schema": TRACE_SCHEMA, "spans": 2, "dropped": 0}
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[1]["attrs"] == {"key": "v"}
+
+    def test_read_trace_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "nope"}) + "\n")
+        with pytest.raises(SchemaError):
+            read_trace_jsonl(str(path))
+
+    def test_build_run_report_shape(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        tracer.add_span("phase", 0.1)
+        metrics.inc("c")
+        report = build_run_report("unit", tracer, metrics, meta={"seed": 0})
+        assert report["schema"] == RUN_REPORT_SCHEMA
+        assert set(report) == {
+            "schema",
+            "name",
+            "meta",
+            "phases",
+            "metrics",
+            "spans_dropped",
+        }
+        assert report["meta"] == {"seed": 0}
+        validate_run_report(report)
+
+    def test_validate_rejects_drift(self):
+        tracer = Tracer()
+        tracer.add_span("phase", 0.1)
+        report = build_run_report("unit", tracer)
+        validate_run_report(report)
+        for mutate in (
+            lambda r: r.pop("phases"),
+            lambda r: r.update(schema="repro.run_report/v2"),
+            lambda r: r["phases"]["phase"].pop("calls"),
+            lambda r: r.update(metrics={"m": {"type": "mystery"}}),
+            lambda r: r.update(spans_dropped="0"),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutate(broken)
+            with pytest.raises(SchemaError):
+                validate_run_report(broken)
+
+    def test_write_and_load_run_report(self, tmp_path):
+        tracer = Tracer()
+        tracer.add_span("phase", 0.1)
+        report = build_run_report("unit", tracer)
+        path = tmp_path / "report.json"
+        write_run_report(report, str(path))
+        assert load_run_report(str(path)) == report
+
+    def test_strip_volatile(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        tracer.add_span("phase", 0.123)
+        metrics.observe("walls", 0.5, volatile=True)
+        metrics.observe("sizes", 7.0)
+        metrics.inc("count")
+        report = build_run_report(
+            "unit", tracer, metrics, meta={"seed": 0, "workers": 4, "wall_s": 1.0}
+        )
+        stripped = strip_volatile(report)
+        assert stripped["meta"] == {"seed": 0}
+        assert stripped["phases"] == {"phase": {"calls": 1}}
+        assert stripped["metrics"]["walls"] == {
+            "type": "histogram",
+            "count": 1,
+            "volatile": True,
+        }
+        # Deterministic metrics keep their full statistics.
+        assert stripped["metrics"]["sizes"]["mean"] == 7.0
+        assert stripped["metrics"]["count"] == {"type": "counter", "value": 1}
+        # The original report is untouched.
+        assert report["meta"]["workers"] == 4
+
+    def test_merge_json_entry(self, tmp_path):
+        path = tmp_path / "merged.json"
+        merge_json_entry(path, "a", {"x": 1})
+        merge_json_entry(path, "b", {"y": 2})
+        merge_json_entry(path, "a", {"x": 3})
+        data = json.loads(path.read_text())
+        assert data == {"a": {"x": 3}, "b": {"y": 2}}
+
+    def test_merge_json_entry_recovers_from_garbage(self, tmp_path):
+        path = tmp_path / "merged.json"
+        path.write_text("not json")
+        merge_json_entry(path, "a", {"x": 1})
+        assert json.loads(path.read_text()) == {"a": {"x": 1}}
+
+    def test_profile_summary(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        text = profile_summary(tracer)
+        assert "outer" in text and "inner" in text
+        assert "top" in text
+        assert profile_summary(Tracer()) == "profile: no spans recorded"
+
+    def test_profile_summary_reports_drops(self):
+        tracer = Tracer(capacity=1)
+        tracer.add_span("a", 0.1)
+        tracer.add_span("b", 0.1)
+        assert "dropped" in profile_summary(tracer)
+
+
+class TestTimeline:
+    def test_round_attributed_spans_render(self):
+        tracer = Tracer()
+        for rnd in range(3):
+            tracer.add_span("scheduler.round", 0.1 * (rnd + 1), round=rnd)
+            tracer.add_span(
+                "runtime.round", 0.05, round=rnd, messages=10 * (rnd + 1)
+            )
+        canvas = timeline_from_tracer(tracer, title="unit")
+        svg = canvas.render()
+        assert svg.startswith("<?xml") or "<svg" in svg
+        assert "scheduler.round" in svg
+        assert "messages/round" in svg
+
+    def test_no_round_spans_still_renders(self):
+        canvas = render_timeline([_span("loose", 0, 0.1)])
+        assert "no round-attributed spans" in canvas.render()
