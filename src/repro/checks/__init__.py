@@ -1,0 +1,61 @@
+"""Correctness tooling: the determinism linter and the runtime sanitizer.
+
+The reproduction's central guarantees — byte-identical serial-vs-parallel
+schedules, associative metric merges, per-node verdict agreement (the
+paper's Propositions 2-3 and the VPT of Definition 5) — are invariants of
+the *code*, not of any one test.  This package enforces them twice over:
+
+* **Statically** — :mod:`repro.checks.engine` walks source files with an
+  AST rule registry (:mod:`repro.checks.rules`) that flags the
+  nondeterminism classes known to break the reproduction: unseeded RNGs,
+  unordered ``set`` iteration feeding ordering-sensitive sinks, wall
+  clock in deterministic paths, layering violations (``obs`` inside the
+  kernel), mutable default arguments, bare excepts, float accumulation
+  inside mergeable metrics, and public entry points without a ``seed``
+  plumb-through.  Findings can be suppressed inline with
+  ``# repro: allow[RULE]`` or parked in a committed baseline; the
+  ``repro-lint`` CLI (:mod:`repro.checks.cli`) reports the rest.
+* **Dynamically** — :mod:`repro.checks.sanitizer` shadow-checks live
+  runs (``REPRO_SANITIZE=1`` or ``repro-coverage --sanitize``): every
+  fresh CSR-kernel verdict is recomputed on the dict oracle, engine
+  cache hits are compared against fresh recomputes, and parallel metric
+  merges are re-associated and compared.  Violations surface through the
+  obs tracer and raise by default.
+"""
+
+from repro.checks.engine import (
+    Baseline,
+    Finding,
+    LintEngine,
+    Rule,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.checks.rules import DEFAULT_RULES, all_rules
+from repro.checks.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    check_merge_associativity,
+    current_sanitizer,
+    disable_sanitizer,
+    enable_sanitizer,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "all_rules",
+    "check_merge_associativity",
+    "current_sanitizer",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

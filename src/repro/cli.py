@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.checks.sanitizer import current_sanitizer, enable_sanitizer
 from repro.analysis.experiments import (
     run_fig1_mobius,
     run_fig2_vertex_deletion,
@@ -152,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's full experiment sizes (slow in pure Python)",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "shadow-check kernel verdicts, cached verdicts, k-balls and "
+            "parallel metrics merges against dict oracles (slower; "
+            "schedules stay byte-identical); equivalent to REPRO_SANITIZE=1"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -183,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    sanitizer = enable_sanitizer() if args.sanitize else current_sanitizer()
     tracer = Tracer()
     metrics = MetricsRegistry()
     with observe(tracer, metrics):
@@ -193,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             # The figure span was recorded on exit, so the printed
             # timing is byte-for-byte the one --report aggregates.
             print(f"  [{name} took {tracer.last_span().wall_s:.1f}s]\n")
+    if sanitizer is not None:
+        print(sanitizer.summary())
     if args.trace:
         count = write_trace_jsonl(tracer, args.trace)
         print(f"trace: {count} spans -> {args.trace}")
@@ -223,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"timeline -> {args.timeline}")
     if args.profile:
         print(profile_summary(tracer))
+    if sanitizer is not None and sanitizer.violations:
+        return 1
     return 0
 
 

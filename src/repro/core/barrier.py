@@ -15,7 +15,6 @@ from ``k`` internally vertex-disjoint such paths (Menger).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
@@ -70,13 +69,13 @@ def barrier_exists(
         return False
     if left & right:
         return True
-    frontier = list(left & graph.vertex_set())
+    frontier = sorted(left & graph.vertex_set())
     seen = set(frontier)
     while frontier:
         node = frontier.pop()
         if node in right:
             return True
-        for neighbor in graph.neighbors(node):
+        for neighbor in sorted(graph.neighbors(node)):
             if neighbor not in seen:
                 seen.add(neighbor)
                 frontier.append(neighbor)

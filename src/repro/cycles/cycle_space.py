@@ -146,6 +146,8 @@ def is_cycle_mask(mask: int, index: EdgeIndex) -> bool:
     stack = [start]
     while stack:
         node = stack.pop()
+        # Reachability only: the returned count is the same under any
+        # visitation order.  # repro: allow[set-iteration-order]
         for nbr in adjacency[node]:
             if nbr not in seen:
                 seen.add(nbr)

@@ -54,7 +54,7 @@ def horton_candidate_cycles(
     for root in sorted(graph.vertices()):
         spt = ShortestPathTree(graph, root, cutoff=cutoff)
         for x in spt.parent:
-            for y in graph.neighbors(x):
+            for y in sorted(graph.neighbors(x)):
                 if y <= x or y not in spt.parent:
                     continue
                 if spt.is_tree_edge(x, y):

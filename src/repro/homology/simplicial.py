@@ -23,7 +23,7 @@ def enumerate_triangles(graph: NetworkGraph) -> List[Triangle]:
     out: List[Triangle] = []
     for u, v in graph.edges():  # edges are canonical: u < v
         common = graph.neighbors(u) & graph.neighbors(v)
-        for w in common:
+        for w in sorted(common):
             if w > v:
                 out.append((u, v, w))
     return out

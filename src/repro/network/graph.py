@@ -168,7 +168,7 @@ class NetworkGraph:
     def edges(self) -> List[Edge]:
         out: List[Edge] = []
         for u, nbrs in self._adj.items():
-            for v in nbrs:
+            for v in sorted(nbrs):
                 if u < v:
                     out.append((u, v))
         return out
@@ -202,7 +202,7 @@ class NetworkGraph:
             d = dist[u]
             if cutoff is not None and d >= cutoff:
                 continue
-            for w in self._adj[u]:
+            for w in sorted(self._adj[u]):
                 if w not in dist:
                     dist[w] = d + 1
                     frontier.append(w)
@@ -272,7 +272,7 @@ class NetworkGraph:
         frontier = deque([source])
         while frontier:
             u = frontier.popleft()
-            for w in self._adj[u]:
+            for w in sorted(self._adj[u]):
                 if w in parent:
                     continue
                 parent[w] = u
@@ -337,15 +337,15 @@ class SubgraphView:
         return u in self._keep and v in self._keep and self._base.has_edge(u, v)
 
     def vertices(self) -> List[int]:
-        return list(self._keep)
+        return sorted(self._keep)
 
     def vertex_set(self) -> Set[int]:
         return set(self._keep)
 
     def edges(self) -> List[Edge]:
         out: List[Edge] = []
-        for u in self._keep:
-            for v in self.neighbors(u):
+        for u in sorted(self._keep):
+            for v in sorted(self.neighbors(u)):
                 if u < v:
                     out.append((u, v))
         return out
@@ -366,7 +366,7 @@ class SubgraphView:
             d = dist[u]
             if cutoff is not None and d >= cutoff:
                 continue
-            for w in self.neighbors(u):
+            for w in sorted(self.neighbors(u)):
                 if w not in dist:
                     dist[w] = d + 1
                     frontier.append(w)
@@ -381,7 +381,7 @@ class SubgraphView:
     def connected_components(self) -> List[Set[int]]:
         seen: Set[int] = set()
         comps: List[Set[int]] = []
-        for v in self._keep:
+        for v in sorted(self._keep):
             if v in seen:
                 continue
             comp = set(self.bfs_distances(v))

@@ -55,6 +55,7 @@ from typing import (
     Tuple,
 )
 
+from repro.checks.sanitizer import current_sanitizer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -143,6 +144,7 @@ def parallel_starmap(
     tracer = current_tracer()
     metrics = current_metrics()
     capture = tracer.enabled or metrics is not None
+    merged_rows: List[Any] = []
 
     def consume(index: int, observed: Tuple[Any, Any, Any]) -> Any:
         result, spans, rows = observed
@@ -150,17 +152,27 @@ def parallel_starmap(
             tracer.import_spans(spans)
         if metrics is not None:
             metrics.merge_payload(rows)
+            merged_rows.append(rows)
         return result
+
+    def check_merge() -> None:
+        # Shadow-oracle: re-associate the submission-order metrics merge
+        # and require the re-grouped registries to agree.
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_merge(merged_rows)
 
     if count <= 1 or len(tasks) <= 1:
         if initializer is not None:
             initializer(*initargs)
         if not capture:
             return [func(*task) for task in tasks]
-        return [
+        results = [
             consume(i, _observed_call(func, *task))
             for i, task in enumerate(tasks)
         ]
+        check_merge()
+        return results
     with ProcessPoolExecutor(
         max_workers=count, initializer=initializer, initargs=initargs
     ) as pool:
@@ -168,9 +180,11 @@ def parallel_starmap(
             futures = [pool.submit(func, *task) for task in tasks]
             return [future.result() for future in futures]
         futures = [pool.submit(_observed_call, func, *task) for task in tasks]
-        return [
+        results = [
             consume(i, future.result()) for i, future in enumerate(futures)
         ]
+        check_merge()
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -68,7 +68,7 @@ class Simulator:
             if src not in self.active:
                 continue
             neighbors = [
-                v for v in self.graph.neighbors(src) if v in self.active
+                v for v in sorted(self.graph.neighbors(src)) if v in self.active
             ]
             for message in queue:
                 kind = message.kind.value

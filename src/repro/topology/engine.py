@@ -39,6 +39,7 @@ import math
 from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.checks.sanitizer import current_sanitizer
 from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import NULL_TRACER
@@ -280,6 +281,9 @@ class LocalTopologyEngine:
             ball = frozenset(self.graph.bfs_distances(v, cutoff=r))
         self.counters.ball_computations += 1
         self.counters.bfs_expansions += len(ball)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_ball(self.graph, v, r, ball)
         if self.cache_balls:
             self._balls[key] = ball
             for member in ball:
@@ -304,6 +308,11 @@ class LocalTopologyEngine:
             self.counters.ball_computations += 1
             hit, expansions = self._kernel.ball_intersects(v, radius, blockers)
             self.counters.bfs_expansions += expansions
+            sanitizer = current_sanitizer()
+            if sanitizer is not None:
+                sanitizer.check_ball_intersects(
+                    self.graph, v, radius, blockers, hit
+                )
             return hit
         return not blockers.isdisjoint(self.ball(v, radius))
 
@@ -314,6 +323,9 @@ class LocalTopologyEngine:
         cached = self._verdicts.get(v)
         if cached is not None:
             self.counters.deletability_cache_hits += 1
+            sanitizer = current_sanitizer()
+            if sanitizer is not None:
+                sanitizer.check_cached_verdict(self.graph, v, self.tau, cached)
             return cached
         self.counters.deletability_tests += 1
         tracer = self.tracer
@@ -334,6 +346,9 @@ class LocalTopologyEngine:
             verdict = self._fresh_verdict(v)
         if self.cache_verdicts:
             self._verdicts[v] = verdict
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_fresh_verdict(self.graph, v, self.tau, verdict)
         return verdict
 
     def _fresh_verdict(self, v: int) -> bool:

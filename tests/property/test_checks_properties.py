@@ -1,0 +1,84 @@
+"""Property tests for the repro.checks layer.
+
+The sanitizer's merge-associativity oracle must accept *every* legal
+:class:`~repro.obs.metrics.MetricsRegistry` merge: counters sum, gauges
+resolve last-write-wins in submission order, histogram observation lists
+concatenate — all associative under re-grouping.  Hypothesis drives
+arbitrary registry populations through :func:`check_merge_associativity`
+and requires a clean verdict, so any future metric type (or merge-method
+edit) that silently breaks associativity fails here before it can fail
+in a live sanitized run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks.sanitizer import check_merge_associativity
+from repro.obs.metrics import MetricsRegistry
+
+_NAMES = st.sampled_from(
+    ["rounds", "verdicts", "cfg.tau", "lat", "runtime.messages", "x"]
+)
+_VALUES = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["inc", "gauge", "observe"]), _NAMES, _VALUES),
+    max_size=12,
+)
+
+
+def _registry(ops) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for op, name, value in ops:
+        # One name, one kind: prefix the op so "inc x" and "observe x"
+        # never collide inside a single registry.
+        if op == "inc":
+            reg.inc(f"c.{name}", int(value))
+        elif op == "gauge":
+            reg.set_gauge(f"g.{name}", float(value))
+        else:
+            reg.observe(f"h.{name}", float(value))
+    return reg
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_OPS, min_size=2, max_size=6))
+def test_merge_associativity_accepts_all_registry_merges(parts):
+    payloads = [_registry(ops).to_payload() for ops in parts]
+    assert check_merge_associativity(payloads) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_OPS, min_size=1, max_size=4))
+def test_payload_roundtrip_preserves_registry(parts):
+    # The associativity check rebuilds registries from payloads; that
+    # reconstruction must be lossless or the oracle compares garbage.
+    for ops in parts:
+        reg = _registry(ops)
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_payload(list(reg.to_payload()))
+        assert rebuilt.as_dict() == reg.as_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_OPS, min_size=2, max_size=5), st.randoms())
+def test_fold_order_equals_pairwise_merge(parts, rnd):
+    # Any parenthesisation must agree with the canonical left fold, not
+    # just the right fold the sanitizer exercises: merge a random split.
+    payloads = [_registry(ops).to_payload() for ops in parts]
+    left = MetricsRegistry()
+    for payload in payloads:
+        left.merge_payload(list(payload))
+    cut = rnd.randrange(1, len(payloads))
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for payload in payloads[:cut]:
+        a.merge_payload(list(payload))
+    for payload in payloads[cut:]:
+        b.merge_payload(list(payload))
+    a.merge(b)
+    assert a.as_dict() == left.as_dict()

@@ -1,0 +1,610 @@
+"""Unit tests for the repro.checks layer: engine, rules, sanitizer, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks.cli import main as lint_main
+from repro.checks.engine import (
+    Baseline,
+    Finding,
+    LintEngine,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.checks.rules import all_rules
+from repro.checks.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    check_merge_associativity,
+    current_sanitizer,
+    disable_sanitizer,
+    enable_sanitizer,
+    oracle_ball,
+    oracle_deletable,
+)
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import triangulated_grid
+from repro.obs.metrics import MetricsRegistry
+from repro.topology.engine import LocalTopologyEngine
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def lint_source(tmp_path: Path, source: str, rel: str = "mod.py"):
+    """Write ``source`` under ``tmp_path`` and lint it with all rules."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    findings, _ = lint_paths([target], all_rules(), root=tmp_path)
+    return findings
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_sanitizer(monkeypatch):
+    """Tests control sanitizer activation explicitly."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    disable_sanitizer()
+    yield
+    disable_sanitizer()
+
+
+# ----------------------------------------------------------------------
+# REPRO101: unseeded RNG
+# ----------------------------------------------------------------------
+class TestUnseededRng:
+    def test_flags_unseeded_random(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+            r = random.Random()
+            x = random.random()
+            random.shuffle([1, 2])
+            """,
+        )
+        assert [f.rule for f in findings if f.rule == "REPRO101"] == ["REPRO101"] * 3
+
+    def test_flags_numpy_global_rng(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            a = np.random.rand(3)
+            rng = np.random.default_rng()
+            """,
+        )
+        assert len([f for f in findings if f.rule == "REPRO101"]) == 2
+
+    def test_seeded_constructions_pass(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+            r = random.Random(7)
+            x = r.random()
+            rng = np.random.default_rng(3)
+            """,
+        )
+        assert not [f for f in findings if f.rule == "REPRO101"]
+
+
+# ----------------------------------------------------------------------
+# REPRO102: set iteration order
+# ----------------------------------------------------------------------
+class TestSetIterationOrder:
+    def test_list_of_set_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, "out = list({1, 2, 3})\n")
+        assert rules_of(findings) == ["REPRO102"]
+
+    def test_for_append_over_set_variable_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(vs):
+                keep = set(vs)
+                out = []
+                for v in keep:
+                    out.append(v)
+                return out
+            """,
+        )
+        assert rules_of(findings) == ["REPRO102"]
+
+    def test_comprehension_over_repo_set_api_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(graph, v):
+                return [w for w in graph.neighbors(v)]
+            """,
+        )
+        assert rules_of(findings) == ["REPRO102"]
+
+    def test_sorted_and_order_free_consumers_pass(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(graph, v):
+                a = sorted(graph.neighbors(v))
+                b = sum(w for w in graph.neighbors(v))
+                c = {w for w in graph.neighbors(v)}
+                d = len({1, 2})
+                return a, b, c, d
+            """,
+        )
+        assert not findings
+
+    def test_dict_iteration_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                out = []
+                for k in d:
+                    out.append(k)
+                return out
+            """,
+        )
+        assert not findings
+
+    def test_annotated_attribute_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from typing import Set
+
+            class View:
+                def __init__(self, vs):
+                    self._keep: Set[int] = set(vs)
+
+                def vertices(self):
+                    return list(self._keep)
+            """,
+        )
+        assert rules_of(findings) == ["REPRO102"]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_allow_comment_on_line(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "out = list({1, 2})  # repro: allow[set-iteration-order]\n",
+        )
+        assert not findings
+
+    def test_allow_comment_on_line_above(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            # repro: allow[REPRO102] order-free by construction
+            out = list({1, 2})
+            """,
+        )
+        assert not findings
+
+    def test_wrong_rule_token_does_not_suppress(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "out = list({1, 2})  # repro: allow[bare-except]\n",
+        )
+        assert rules_of(findings) == ["REPRO102"]
+
+
+# ----------------------------------------------------------------------
+# REPRO103: wall clock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_flagged_outside_obs(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+            t = time.time()
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert rules_of(findings) == ["REPRO103"]
+
+    def test_obs_layer_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+            t = time.time()
+            """,
+            rel="repro/obs/mod.py",
+        )
+        assert not findings
+
+    def test_perf_counter_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """,
+            rel="repro/core/mod.py",
+        )
+        assert not findings
+
+
+# ----------------------------------------------------------------------
+# REPRO104: layering
+# ----------------------------------------------------------------------
+class TestLayering:
+    def test_obs_import_in_cycles_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.obs.tracer import current_tracer
+            """,
+            rel="repro/cycles/kernel.py",
+        )
+        assert rules_of(findings) == ["REPRO104"]
+
+    def test_lazy_import_also_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f():
+                import repro.obs.tracer as t
+                return t
+            """,
+            rel="repro/network/graph.py",
+        )
+        assert rules_of(findings) == ["REPRO104"]
+
+    def test_topology_import_in_sanitizer_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.topology import LocalTopologyEngine\n",
+            rel="repro/checks/sanitizer.py",
+        )
+        assert rules_of(findings) == ["REPRO104"]
+
+    def test_allowed_imports_pass(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.network.graph import NetworkGraph\n",
+            rel="repro/cycles/kernel.py",
+        )
+        assert not findings
+
+
+# ----------------------------------------------------------------------
+# REPRO105-108
+# ----------------------------------------------------------------------
+class TestSmallRules:
+    def test_mutable_default(self, tmp_path):
+        findings = lint_source(tmp_path, "def f(x=[]):\n    return x\n")
+        assert rules_of(findings) == ["REPRO105"]
+
+    def test_none_default_passes(self, tmp_path):
+        findings = lint_source(tmp_path, "def f(x=None):\n    return x\n")
+        assert not findings
+
+    def test_bare_except(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert rules_of(findings) == ["REPRO106"]
+
+    def test_float_merge_division_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Stat:
+                def merge(self, other):
+                    self.mean = (self.mean + other.mean) / 2
+            """,
+        )
+        assert rules_of(findings) == ["REPRO107"]
+
+    def test_division_outside_merge_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Stat:
+                def export(self):
+                    return self.total / self.count
+            """,
+        )
+        assert not findings
+
+    def test_seed_plumbing_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def schedule(graph, rng=None):\n    return rng\n",
+        )
+        assert rules_of(findings) == ["REPRO108"]
+
+    def test_seed_parameter_satisfies(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def schedule(graph, rng=None, seed=0):\n    return rng, seed\n",
+        )
+        assert not findings
+
+    def test_required_rng_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def schedule(graph, rng):\n    return rng\n",
+        )
+        assert not findings
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics: baseline, reporters, syntax errors
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert [f.rule for f in findings] == ["REPRO999"]
+
+    def test_baseline_parks_known_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("out = list({1, 2})\n")
+        findings, _ = lint_paths([target], all_rules(), root=tmp_path)
+        baseline = Baseline(f.fingerprint() for f in findings)
+        fresh, parked = lint_paths(
+            [target], all_rules(), baseline=baseline, root=tmp_path
+        )
+        assert fresh == [] and len(parked) == 1
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("out = list({1, 2})\n")
+        findings, _ = lint_paths([target], all_rules(), root=tmp_path)
+        baseline = Baseline(f.fingerprint() for f in findings)
+        target.write_text("out = list({1, 2})\nmore = list({3, 4})\n")
+        fresh, parked = lint_paths(
+            [target], all_rules(), baseline=baseline, root=tmp_path
+        )
+        assert len(fresh) == 1 and len(parked) == 1
+
+    def test_baseline_roundtrip(self, tmp_path):
+        baseline = Baseline(["a::R::m", "b::R::m"])
+        path = tmp_path / "base.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-lint-baseline/v1"
+        assert data["entries"] == sorted(data["entries"])
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_json_rendering_is_stable(self):
+        scrambled = [
+            Finding("b.py", "REPRO102", "set-iteration-order", 9, 0, "m2"),
+            Finding("a.py", "REPRO105", "mutable-default", 3, 4, "m1"),
+            Finding("a.py", "REPRO102", "set-iteration-order", 7, 0, "m0"),
+        ]
+        rendered = render_json(scrambled)
+        again = render_json(list(reversed(scrambled)))
+        assert rendered == again
+        payload = json.loads(rendered)
+        assert payload["format"] == "repro-lint/v1"
+        keys = [(f["path"], f["rule"], f["line"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_text_rendering_sorted(self):
+        findings = [
+            Finding("b.py", "REPRO102", "set-iteration-order", 9, 0, "m"),
+            Finding("a.py", "REPRO102", "set-iteration-order", 7, 0, "m"),
+        ]
+        lines = render_text(findings).splitlines()
+        assert lines == sorted(lines)
+
+    def test_duplicate_rule_ids_rejected(self):
+        rules = all_rules()
+        with pytest.raises(ValueError):
+            LintEngine(rules + [type(rules[0])()])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = sorted({1, 2})\n")
+        assert lint_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("x = list({1, 2})\n")
+        assert lint_main([str(tmp_path), "--root", str(tmp_path)]) == 1
+        assert "REPRO102" in capsys.readouterr().out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("x = list({1, 2})\n")
+        assert (
+            lint_main([str(tmp_path), "--root", str(tmp_path), "--update-baseline"])
+            == 0
+        )
+        assert (tmp_path / "repro-lint.baseline.json").exists()
+        assert lint_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out.splitlines()[-1]
+
+    def test_select_unknown_rule_exits_two(self, tmp_path):
+        assert (
+            lint_main([str(tmp_path), "--root", str(tmp_path), "--select", "nope"])
+            == 2
+        )
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("x = list({1, 2})\n")
+        lint_main([str(tmp_path), "--root", str(tmp_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REPRO101", "REPRO108"):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Sanitizer
+# ----------------------------------------------------------------------
+def _grid_graph(n: int = 4) -> NetworkGraph:
+    graph = NetworkGraph(range(n * n))
+    for r in range(n):
+        for c in range(n):
+            v = r * n + c
+            if c + 1 < n:
+                graph.add_edge(v, v + 1)
+            if r + 1 < n:
+                graph.add_edge(v, v + n)
+    return graph
+
+
+class TestSanitizerOracles:
+    def test_oracle_ball_matches_bfs(self):
+        graph = _grid_graph()
+        ball = oracle_ball(graph, 5, 1)
+        assert ball == frozenset({5}) | graph.neighbors(5)
+
+    def test_oracle_agrees_with_engine_verdicts(self):
+        graph = triangulated_grid(5, 5).graph
+        engine = LocalTopologyEngine(graph.copy(), tau=4)
+        for v in sorted(graph.vertices()):
+            assert oracle_deletable(graph, v, 4) == engine.deletable(v)
+
+    def test_merge_associativity_accepts_real_payloads(self):
+        payloads = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.inc("work", i + 1)
+            reg.set_gauge("cfg", float(i))
+            reg.observe("lat", 0.5 * i)
+            payloads.append(reg.to_payload())
+        assert check_merge_associativity(payloads) is None
+
+
+class TestSanitizerChecks:
+    def test_check_ball_passes_on_truth(self):
+        graph = _grid_graph()
+        sanitizer = Sanitizer()
+        sanitizer.check_ball(graph, 0, 2, oracle_ball(graph, 0, 2))
+        assert sanitizer.violations == []
+        assert sanitizer.checks["ball"] == 1
+
+    def test_check_ball_raises_on_divergence(self):
+        graph = _grid_graph()
+        sanitizer = Sanitizer()
+        with pytest.raises(SanitizerError):
+            sanitizer.check_ball(graph, 0, 2, frozenset({0, 1}))
+
+    def test_warn_mode_records_without_raising(self):
+        graph = _grid_graph()
+        sanitizer = Sanitizer(mode="warn")
+        sanitizer.check_ball(graph, 0, 2, frozenset({0, 1}))
+        assert len(sanitizer.violations) == 1
+        with pytest.raises(SanitizerError):
+            sanitizer.assert_clean()
+
+    def test_check_merge_flags_bad_reassociation(self):
+        # A forged payload whose "counter" merges by replacement is not
+        # associative; simulate by feeding inconsistent gauge orders.
+        reg_a, reg_b, reg_c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        reg_a.inc("n", 1)
+        reg_b.inc("n", 2)
+        reg_c.inc("n", 3)
+        sanitizer = Sanitizer()
+        sanitizer.check_merge([reg_a.to_payload(), reg_b.to_payload(),
+                               reg_c.to_payload()])
+        assert sanitizer.violations == []
+
+    def test_stride_samples_cache_hits(self):
+        graph = _grid_graph()
+        sanitizer = Sanitizer(stride=3)
+        for _ in range(6):
+            sanitizer.check_cached_verdict(graph, 5, 4, oracle_deletable(graph, 5, 4))
+        assert sanitizer.checks.get("cached_verdict") == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Sanitizer(mode="loud")
+
+
+class TestSanitizerEngineHooks:
+    def test_engine_runs_clean_under_sanitizer(self):
+        enable_sanitizer()
+        try:
+            graph = triangulated_grid(5, 5).graph
+            engine = LocalTopologyEngine(graph, tau=4)
+            order = sorted(engine.graph.vertices())
+            for v in order:
+                engine.deletable(v)
+            for v in order:  # cache hits
+                engine.deletable(v)
+            engine.ball(order[0], 2)
+            engine.blocked(order[0], 2, {order[-1]})
+            sanitizer = current_sanitizer()
+            assert sanitizer.violations == []
+            for kind in ("fresh_verdict", "cached_verdict", "ball"):
+                assert sanitizer.checks.get(kind, 0) > 0
+            assert (
+                sanitizer.checks.get("ball_intersects", 0)
+                + sanitizer.checks.get("ball", 0)
+                > 1
+            )
+        finally:
+            disable_sanitizer()
+
+    def test_blocked_kernel_path_checked(self):
+        enable_sanitizer()
+        try:
+            graph = triangulated_grid(5, 5).graph
+            engine = LocalTopologyEngine(graph, tau=4, cache_balls=False)
+            vs = sorted(engine.graph.vertices())
+            assert engine.blocked(vs[0], 10, {vs[-1]})
+            assert current_sanitizer().checks.get("ball_intersects") == 1
+        finally:
+            disable_sanitizer()
+
+    def test_poisoned_verdict_cache_detected(self):
+        enable_sanitizer()
+        try:
+            graph = triangulated_grid(5, 5).graph
+            engine = LocalTopologyEngine(graph, tau=4)
+            v = sorted(engine.graph.vertices())[0]
+            truth = engine.deletable(v)
+            engine._verdicts[v] = not truth  # simulate a stale-cache bug
+            with pytest.raises(SanitizerError):
+                engine.deletable(v)
+        finally:
+            disable_sanitizer()
+
+    def test_enable_exports_env_for_workers(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        enable_sanitizer(mode="warn")
+        assert os.environ["REPRO_SANITIZE"] == "warn"
+        disable_sanitizer()
+        assert "REPRO_SANITIZE" not in os.environ
