@@ -8,10 +8,8 @@ Two halves:
   circumscribing-circle diameter exceeds (tau - 2) Rc.
 """
 
-import math
 import random
 
-import pytest
 
 from repro.core.confine import blanket_sensing_ratio_threshold, hole_diameter_bound
 from repro.geometry.coverage_eval import evaluate_coverage

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.network.deployment import Network, Rectangle
+from repro.network.deployment import Network
 from repro.network.graph import NetworkGraph
 from repro.network.node import Position
 

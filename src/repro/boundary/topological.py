@@ -21,7 +21,7 @@ ground truth is measured in the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.network.graph import NetworkGraph
 

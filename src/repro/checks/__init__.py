@@ -21,6 +21,13 @@ the *code*, not of any one test.  This package enforces them twice over:
   cache hits are compared against fresh recomputes, and parallel metric
   merges are re-associated and compared.  Violations surface through the
   obs tracer and raise by default.
+
+A second front, ``repro-verify`` (:mod:`repro.checks.verify_cli`),
+verifies the *distributed protocol* rather than determinism: contract
+extraction over ``runtime/`` (:mod:`repro.checks.protocol`, REPRO20x),
+locality flow analysis (:mod:`repro.checks.locality`, REPRO21x), and
+bounded model checking of the extracted contract over all delivery
+interleavings on small graphs (:mod:`repro.checks.model`, REPRO22x).
 """
 
 from repro.checks.engine import (
@@ -28,9 +35,17 @@ from repro.checks.engine import (
     Finding,
     LintEngine,
     Rule,
+    apply_suppressions,
     lint_paths,
     render_json,
     render_text,
+)
+from repro.checks.locality import default_locality_rules
+from repro.checks.model import ModelReport, check_model, graph_catalog
+from repro.checks.protocol import (
+    ProtocolContract,
+    check_constants,
+    extract_contract,
 )
 from repro.checks.rules import DEFAULT_RULES, all_rules
 from repro.checks.sanitizer import (
@@ -47,14 +62,22 @@ __all__ = [
     "DEFAULT_RULES",
     "Finding",
     "LintEngine",
+    "ModelReport",
+    "ProtocolContract",
     "Rule",
     "Sanitizer",
     "SanitizerError",
     "all_rules",
+    "apply_suppressions",
+    "check_constants",
     "check_merge_associativity",
+    "check_model",
     "current_sanitizer",
+    "default_locality_rules",
     "disable_sanitizer",
     "enable_sanitizer",
+    "extract_contract",
+    "graph_catalog",
     "lint_paths",
     "render_json",
     "render_text",

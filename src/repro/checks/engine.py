@@ -129,6 +129,21 @@ def _is_suppressed(finding: Finding, allows: Dict[int, Set[str]]) -> bool:
     return False
 
 
+def apply_suppressions(
+    findings: Sequence[Finding], source_lines: Sequence[str]
+) -> List[Finding]:
+    """Drop findings silenced by ``# repro: allow[...]`` comments.
+
+    For passes that produce findings outside :meth:`LintEngine.lint_file`
+    (e.g. the cross-module protocol extraction of
+    :mod:`repro.checks.protocol`) but must honour the same inline
+    suppression contract.  ``source_lines`` are the lines of the file the
+    findings point into.
+    """
+    allows = _suppressions(source_lines)
+    return [f for f in findings if not _is_suppressed(f, allows)]
+
+
 class Baseline:
     """A committed set of accepted findings, keyed by fingerprint.
 

@@ -1,0 +1,267 @@
+"""Locality flow analysis for the distributed runtime (REPRO21x).
+
+The point of the distributed protocol is that nodes act on *local*
+information only: a node's deletability verdict, its MIS vote, and its
+view updates must derive from its own gossip-built view and its own
+inbox.  Reading the simulator's global graph — or another node's view or
+inbox — inside a decision path would be a silent violation of the
+paper's model: results could still be correct while the algorithm quietly
+stopped being distributed.
+
+These rules make that discipline mechanical:
+
+========  ==================  ===========================================
+id        name                catches
+========  ==================  ===========================================
+REPRO210  global-graph-read   ``sim.graph`` / ``self.sim.graph`` access
+                              inside runtime decision code
+REPRO211  foreign-view-access  indexing the views table with a node id
+                              other than the one currently being
+                              processed
+REPRO212  inbox-confinement   draining an inbox other than the current
+                              node's
+========  ==================  ===========================================
+
+Two global reads are legitimate and carry reasoned
+``# repro: allow[global-graph-read]`` comments in the source: the
+round-0 bootstrap in ``_discover_topology`` (a radio hears its one-hop
+neighbours for free) and the result assembly in ``run`` (collected for
+the caller after the fixpoint).  The allowlist is *the comment itself* —
+an unexplained read fails the build, which is exactly the workflow the
+suppression machinery of :mod:`repro.checks.engine` exists for.
+
+The rules fire only inside ``runtime/`` modules that implement protocol
+logic; the simulator substrate (``simulator.py``), message schemas, and
+stats accounting are exempt because they *are* the global side of the
+abstraction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.checks.engine import Finding, ModuleContext, Rule
+
+#: runtime files that are the substrate, not protocol logic.
+_EXEMPT_BASENAMES = {
+    "simulator.py",
+    "messages.py",
+    "stats.py",
+    "__init__.py",
+}
+
+#: names of mappings holding per-node state; indexing them with anything
+#: but the node currently being processed is a locality violation.
+_VIEW_TABLE_NAMES = {"views"}
+
+
+def _applies(ctx: ModuleContext) -> bool:
+    path = ctx.rel_path
+    if "repro/runtime/" not in path:
+        return False
+    return path.rsplit("/", 1)[-1] not in _EXEMPT_BASENAMES
+
+
+def _bound_node_names(tree: ast.Module) -> Set[str]:
+    """Names bound as iteration targets, comprehension targets or params.
+
+    These are the identifiers a decision path may legitimately use as
+    "the node I am right now": ``for node in sim.active``, a function
+    parameter, or a comprehension variable.  Anything else used to index
+    per-node state is a foreign access.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        names.add(elt.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            ):
+                names.add(arg.arg)
+            if args.vararg:
+                names.add(args.vararg.arg)
+            if args.kwarg:
+                names.add(args.kwarg.arg)
+    return names
+
+
+def _is_sim_ref(node: ast.expr) -> bool:
+    """``sim`` / ``self.sim`` / ``<anything>.sim``."""
+    if isinstance(node, ast.Name) and node.id == "sim":
+        return True
+    return isinstance(node, ast.Attribute) and node.attr == "sim"
+
+
+class GlobalGraphReadRule(Rule):
+    """REPRO210: decision code must not read the simulator's graph.
+
+    ``sim.graph`` is the omniscient topology.  A per-node engine's own
+    graph (``self._engine.graph``) is local state and is not flagged.
+    """
+
+    rule_id = "REPRO210"
+    name = "global-graph-read"
+    summary = "runtime decision code reads the global simulator graph"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "graph"
+                and _is_sim_ref(node.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "global topology read in runtime code; per-node "
+                    "decisions may only use the node's own view — add a "
+                    "reasoned `# repro: allow[global-graph-read]` if this "
+                    "is bootstrap or result assembly",
+                )
+
+
+class ForeignViewAccessRule(Rule):
+    """REPRO211: a node may only touch its *own* view.
+
+    Indexing the views table with a constant, an arithmetic expression,
+    or a name that is not a loop/comprehension/parameter binding means
+    some node is reading another node's memory.
+    """
+
+    rule_id = "REPRO211"
+    name = "foreign-view-access"
+    summary = "per-node state indexed by something other than the current node"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _applies(ctx):
+            return
+        bound = _bound_node_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            index = self._view_subscript(node)
+            if index is None:
+                continue
+            if isinstance(index, ast.Name) and index.id in bound:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "views table indexed by "
+                f"`{ast.unparse(index)}`, which is not the node being "
+                "processed; a node may only read its own view",
+            )
+        for node in ast.walk(ctx.tree):
+            call = self._view_method_call(node)
+            if call is None:
+                continue
+            index = call
+            if isinstance(index, ast.Name) and index.id in bound:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "views table accessed with "
+                f"`{ast.unparse(index)}`, which is not the node being "
+                "processed; a node may only touch its own view",
+            )
+
+    @staticmethod
+    def _view_subscript(node: ast.AST) -> ast.expr | None:
+        if not isinstance(node, ast.Subscript):
+            return None
+        base = node.value
+        name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else None
+        )
+        if name not in _VIEW_TABLE_NAMES:
+            return None
+        return node.slice
+
+    @staticmethod
+    def _view_method_call(node: ast.AST) -> ast.expr | None:
+        """First argument of ``views.pop(x, ...)`` / ``views.get(x)``."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("pop", "get")
+            and node.args
+        ):
+            return None
+        base = node.func.value
+        name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else None
+        )
+        if name not in _VIEW_TABLE_NAMES:
+            return None
+        return node.args[0]
+
+
+class InboxConfinementRule(Rule):
+    """REPRO212: a node drains only its own inbox.
+
+    ``sim.inbox(x)`` with ``x`` not bound as the current node means one
+    node is reading another's mail.
+    """
+
+    rule_id = "REPRO212"
+    name = "inbox-confinement"
+    summary = "inbox drained for a node other than the one being processed"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _applies(ctx):
+            return
+        bound = _bound_node_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "inbox"
+                and len(node.args) == 1
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Name) and arg.id in bound:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"inbox drained for `{ast.unparse(arg)}`, which is not "
+                "the node being processed; messages are private to their "
+                "recipient",
+            )
+
+
+#: (rule id, rule name, summary) for the locality family.
+LOCALITY_RULES: Tuple[Tuple[str, str, str], ...] = tuple(
+    (r.rule_id, r.name, r.summary)
+    for r in (GlobalGraphReadRule, ForeignViewAccessRule, InboxConfinementRule)
+)
+
+
+def default_locality_rules() -> Tuple[Rule, ...]:
+    """Fresh instances of the REPRO21x family, in id order."""
+    return (
+        GlobalGraphReadRule(),
+        ForeignViewAccessRule(),
+        InboxConfinementRule(),
+    )

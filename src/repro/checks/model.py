@@ -1,0 +1,563 @@
+"""Bounded model checking of the extracted protocol contract (REPRO22x).
+
+The static passes prove *source shapes* — the ttl is decremented, the
+relay is guarded, the dedup exists.  This module closes the loop by
+*executing* the extracted :class:`~repro.checks.protocol.ProtocolContract`
+exhaustively over every delivery-order interleaving the runtime admits,
+on a catalog of small graphs (n <= 6), and asserting the properties the
+paper's correctness argument rests on:
+
+========  ================  ==============================================
+id        name              asserts
+========  ================  ==============================================
+REPRO220  ttl-termination   every TTL-bounded flood quiesces within its
+                            hop budget on every interleaving
+REPRO221  flood-coverage    the set of nodes a flood reaches is exactly
+                            the origin's radius-ball (k for DELETE,
+                            m for PRIORITY), no more, no less — the
+                            origin included, since a neighbour echoes
+                            the notice back whenever the budget allows
+                            a relay
+REPRO222  view-convergence  after k gossip rounds every node's view is
+                            exactly its k-ball's adjacency rows, and the
+                            result is identical on every interleaving
+========  ================  ==============================================
+
+Why per-node inbox permutations are *all* the interleavings: the runtime
+is round-synchronous (:meth:`Simulator.step` delivers everything sent in
+round t at the start of round t+1), nodes share no state within a round,
+and the order a node *emits* messages is erased by the next round's
+inbox-permutation enumeration.  So the cartesian product of per-node
+inbox orders, per round, is exactly the space of global delivery
+schedules — enumerating it (at most 5! = 120 orders per node at n <= 6)
+is exhaustive, not a sampling.
+
+When an assertion fails, the minimal counterexample — graph, origin,
+tau, and the per-round delivery schedule that exposes it — is emitted as
+a ``verify.counterexample`` span through the observability layer, so it
+lands in run reports next to everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations, permutations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.engine import Finding
+from repro.checks.protocol import FloodSpec, ProtocolContract
+from repro.obs.tracer import current_tracer
+
+#: (rule id, rule name, summary) for the model-checking family.
+MODEL_RULES: Tuple[Tuple[str, str, str], ...] = (
+    ("REPRO220", "ttl-termination", "a flood admits a non-quiescing interleaving"),
+    ("REPRO221", "flood-coverage", "flood coverage differs from the radius ball"),
+    ("REPRO222", "view-convergence", "gossip views diverge or miss the k-ball"),
+)
+
+Edge = Tuple[int, int]
+#: a flood message in flight: (origin, ttl)
+_Msg = Tuple[int, int]
+
+#: backstop on branching executions per (graph, origin, tau) case; the
+#: intact contract is single-path, so hitting this means the contract is
+#: already order-sensitive — which is itself reported.
+_MAX_EXECUTIONS = 2048
+
+
+# ----------------------------------------------------------------------
+# Graph catalog
+# ----------------------------------------------------------------------
+def _is_connected(n: int, edges: Sequence[Edge]) -> bool:
+    if n <= 1:
+        return True
+    adj: Dict[int, Set[int]] = {v: set() for v in range(n)}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        u = frontier.pop()
+        for w in sorted(adj[u]):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return len(seen) == n
+
+
+def _all_connected_graphs(n: int) -> List[Tuple[Edge, ...]]:
+    """Every labeled connected graph on ``range(n)`` (edge-subset sweep)."""
+    pairs = list(combinations(range(n), 2))
+    out: List[Tuple[Edge, ...]] = []
+    for mask in range(1 << len(pairs)):
+        edges = tuple(p for i, p in enumerate(pairs) if mask >> i & 1)
+        if _is_connected(n, edges):
+            out.append(edges)
+    return out
+
+
+#: hand-picked shapes where exhaustive enumeration is too wide: extremal
+#: diameter (path), symmetry (cycle, complete, bipartite), hubs (star),
+#: and bridges between dense clusters.
+_FIXED_CATALOG: Dict[int, Tuple[Tuple[Edge, ...], ...]] = {
+    5: (
+        ((0, 1), (1, 2), (2, 3), (3, 4)),  # path P5
+        ((0, 1), (1, 2), (2, 3), (3, 4), (0, 4)),  # cycle C5
+        ((0, 1), (0, 2), (0, 3), (0, 4)),  # star K1,4
+        tuple(combinations(range(5), 2)),  # complete K5
+        ((0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)),  # bowtie
+        ((0, 1), (1, 2), (0, 2), (2, 3), (3, 4)),  # lollipop
+    ),
+    6: (
+        ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5)),  # path P6
+        ((0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)),  # cycle C6
+        ((0, 1), (0, 2), (0, 3), (0, 4), (0, 5)),  # star K1,5
+        tuple(combinations(range(6), 2)),  # complete K6
+        (  # 2x3 grid
+            (0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5),
+        ),
+        (  # prism C3 x K2
+            (0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5),
+            (0, 3), (1, 4), (2, 5),
+        ),
+        (  # complete bipartite K3,3
+            (0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5),
+            (2, 3), (2, 4), (2, 5),
+        ),
+        (  # two triangles joined by a bridge
+            (0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3),
+        ),
+    ),
+}
+
+
+def graph_catalog(max_n: int = 6) -> List[Tuple[int, Tuple[Edge, ...]]]:
+    """``(n, edges)`` cases: exhaustive for n <= 4, curated for n in {5, 6}."""
+    cases: List[Tuple[int, Tuple[Edge, ...]]] = []
+    for n in range(2, min(max_n, 4) + 1):
+        cases.extend((n, edges) for edges in _all_connected_graphs(n))
+    for n in (5, 6):
+        if n <= max_n:
+            cases.extend((n, edges) for edges in _FIXED_CATALOG[n])
+    return cases
+
+
+def _adjacency(n: int, edges: Sequence[Edge]) -> Dict[int, FrozenSet[int]]:
+    adj: Dict[int, Set[int]] = {v: set() for v in range(n)}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    return {v: frozenset(nbrs) for v, nbrs in adj.items()}
+
+
+def _bfs_distances(
+    adj: Dict[int, FrozenSet[int]], source: int
+) -> Dict[int, int]:
+    dist = {source: 0}
+    frontier = [source]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for w in sorted(adj[u]):
+                if w not in dist:
+                    dist[w] = dist[u] + 1
+                    nxt.append(w)
+        frontier = nxt
+    return dist
+
+
+def _ball(adj: Dict[int, FrozenSet[int]], source: int, radius: int) -> Set[int]:
+    dist = _bfs_distances(adj, source)
+    return {v for v, d in dist.items() if d <= radius}
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class ModelReport:
+    """What the bounded model checker covered, plus its findings."""
+
+    taus: Tuple[int, ...] = ()
+    max_n: int = 6
+    graphs_checked: int = 0
+    flood_cases: int = 0
+    gossip_cases: int = 0
+    interleavings_explored: int = 0
+    max_branch_width: int = 1
+    truncated_cases: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "taus": list(self.taus),
+            "max_n": self.max_n,
+            "graphs_checked": self.graphs_checked,
+            "flood_cases": self.flood_cases,
+            "gossip_cases": self.gossip_cases,
+            "interleavings_explored": self.interleavings_explored,
+            "max_branch_width": self.max_branch_width,
+            "truncated_cases": self.truncated_cases,
+        }
+
+
+# ----------------------------------------------------------------------
+# Flood semantics (executes a FloodSpec)
+# ----------------------------------------------------------------------
+#: per-node flood state: (received origins, relayed origins)
+_NodeState = Tuple[FrozenSet[int], FrozenSet[int]]
+
+
+def _node_step(
+    state: _NodeState, inbox: Tuple[_Msg, ...], spec: FloodSpec
+) -> Set[Tuple[_NodeState, Tuple[_Msg, ...]]]:
+    """All distinct ``(state', sorted outgoing)`` over inbox orders.
+
+    Outgoing messages are returned sorted: the emission order is erased
+    by the next round's permutation enumeration, so two orders that
+    produce the same multiset are the same outcome.
+    """
+    outcomes: Set[Tuple[_NodeState, Tuple[_Msg, ...]]] = set()
+    for perm in sorted(set(permutations(inbox))):
+        received = set(state[0])
+        relayed = set(state[1])
+        out: List[_Msg] = []
+        for origin, ttl in perm:
+            received.add(origin)
+            relay = True
+            if spec.guarded and not ttl > 0:
+                relay = False
+            if spec.dedup_by_origin and origin in relayed:
+                relay = False
+            if relay:
+                if spec.dedup_by_origin:
+                    relayed.add(origin)
+                out.append((origin, ttl - 1 if spec.decrements else ttl))
+        outcomes.add(
+            ((frozenset(received), frozenset(relayed)), tuple(sorted(out)))
+        )
+    return outcomes
+
+
+@dataclass
+class _FloodResult:
+    terminated: bool
+    coverages: Set[FrozenSet[int]]
+    interleavings: int
+    max_branch_width: int
+    truncated: bool
+    #: delivery schedule of the first offending execution, if any
+    trace: Optional[str] = None
+
+
+def _run_flood(
+    adj: Dict[int, FrozenSet[int]],
+    origin: int,
+    radius: int,
+    spec: FloodSpec,
+    max_rounds: int,
+) -> _FloodResult:
+    """Execute ``spec`` from ``origin`` over every delivery interleaving.
+
+    Depth-first over per-round branch points; each global execution ends
+    when no message is in flight (recording its coverage) or when it
+    exceeds ``max_rounds`` (a termination violation).
+    """
+    nodes = sorted(adj)
+    initial_states: Dict[int, _NodeState] = {
+        v: (frozenset(), frozenset()) for v in nodes
+    }
+    # Round 0: the origin broadcasts (origin, radius - 1), as the source
+    # send sites do.  Coverage counts *receivers*, so the origin's own
+    # emission does not mark it covered.
+    first_inboxes: Dict[int, Tuple[_Msg, ...]] = {
+        v: ((origin, radius - 1),) for v in adj[origin]
+    }
+    result = _FloodResult(
+        terminated=True,
+        coverages=set(),
+        interleavings=0,
+        max_branch_width=1,
+        truncated=False,
+    )
+    executions = 0
+
+    # stack entries: (round, states, inboxes, schedule-so-far)
+    stack: List[
+        Tuple[int, Dict[int, _NodeState], Dict[int, Tuple[_Msg, ...]], List[str]]
+    ] = [(1, initial_states, first_inboxes, [])]
+    while stack:
+        round_no, states, inboxes, schedule = stack.pop()
+        if not inboxes:
+            executions += 1
+            result.coverages.add(
+                frozenset(v for v in nodes if states[v][0])
+            )
+            if executions >= _MAX_EXECUTIONS:
+                result.truncated = True
+                return result
+            continue
+        if round_no > max_rounds:
+            result.terminated = False
+            result.trace = " | ".join(schedule) or "<initial flood>"
+            return result
+        # Per-node outcome sets; nodes without mail keep their state.
+        per_node: Dict[int, List[Tuple[_NodeState, Tuple[_Msg, ...]]]] = {}
+        for v, inbox in sorted(inboxes.items()):
+            outcomes = _node_step(states[v], inbox, spec)
+            result.interleavings += len(set(permutations(inbox)))
+            result.max_branch_width = max(
+                result.max_branch_width, len(outcomes)
+            )
+            per_node[v] = sorted(outcomes)
+        # Cartesian product of per-node outcomes = global branches.
+        branches: List[Dict[int, Tuple[_NodeState, Tuple[_Msg, ...]]]] = [{}]
+        for v, outcomes in per_node.items():
+            branches = [
+                {**b, v: outcome} for b in branches for outcome in outcomes
+            ]
+        for branch in branches:
+            new_states = dict(states)
+            new_inboxes: Dict[int, List[_Msg]] = {}
+            for v, (state, outgoing) in branch.items():
+                new_states[v] = state
+                for msg in outgoing:
+                    for w in sorted(adj[v]):
+                        new_inboxes.setdefault(w, []).append(msg)
+            step_desc = ",".join(
+                f"{v}<-{list(inboxes[v])}" for v in sorted(inboxes)
+            )
+            stack.append(
+                (
+                    round_no + 1,
+                    new_states,
+                    {v: tuple(sorted(m)) for v, m in new_inboxes.items()},
+                    schedule + [f"r{round_no}: {step_desc}"],
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Gossip semantics (executes the TOPOLOGY exchange)
+# ----------------------------------------------------------------------
+def _run_gossip(
+    adj: Dict[int, FrozenSet[int]], rounds: int
+) -> Tuple[Dict[int, Dict[int, FrozenSet[int]]], bool, int]:
+    """k rounds of first-writer-wins adjacency gossip.
+
+    Returns ``(final views, converged, interleavings)`` where
+    ``converged`` is False when any node's final view depends on its
+    inbox order.  (With consistent rows — every copy of a node's row is
+    identical — first-writer-wins is confluent; the checker verifies
+    that rather than assuming it.)
+    """
+    views: Dict[int, Dict[int, FrozenSet[int]]] = {
+        v: {v: adj[v]} for v in adj
+    }
+    converged = True
+    interleavings = 0
+    for __ in range(rounds):
+        outgoing = {v: tuple(sorted(views[v].items())) for v in adj}
+        for v in sorted(adj):
+            inbox = tuple(outgoing[u] for u in sorted(adj[v]))
+            outcomes: Set[Tuple[Tuple[int, FrozenSet[int]], ...]] = set()
+            final: Optional[Dict[int, FrozenSet[int]]] = None
+            # sorted so the representative `final` view is deterministic
+            # even when outcomes diverge (the divergence is reported).
+            for perm in sorted(set(permutations(inbox))):
+                interleavings += 1
+                view = dict(views[v])
+                for rows in perm:
+                    for node, nbrs in rows:
+                        if node not in view:
+                            view[node] = nbrs
+                outcomes.add(tuple(sorted(view.items())))
+                if final is None:
+                    final = view
+            if len(outcomes) > 1:
+                converged = False
+            assert final is not None
+            views[v] = final
+    return views, converged, interleavings
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+def _radius_for(symbol: str, tau: int) -> int:
+    k = math.ceil(tau / 2)
+    return k if symbol == "k" else k + 1
+
+
+def _fmt_graph(n: int, edges: Sequence[Edge]) -> str:
+    return f"n={n} edges={sorted(edges)}"
+
+
+def check_model(
+    contract: ProtocolContract,
+    taus: Sequence[int] = (3, 5),
+    max_n: int = 6,
+    tracer=None,
+) -> ModelReport:
+    """Model-check ``contract`` on the small-graph catalog.
+
+    For every graph, every origin, and every tau: executes each
+    TTL-bounded flood over all delivery interleavings, asserting
+    termination (REPRO220) and exact radius-ball coverage (REPRO221);
+    runs the gossip exchange asserting order-insensitive convergence to
+    exactly the k-ball rows (REPRO222).  Counterexamples are emitted as
+    ``verify.counterexample`` spans on ``tracer`` (ambient by default).
+    """
+    tracer = tracer if tracer is not None else current_tracer()
+    report = ModelReport(taus=tuple(taus), max_n=max_n)
+    catalog = graph_catalog(max_n)
+    report.graphs_checked = len(catalog)
+    findings: Dict[str, Finding] = {}
+
+    def emit(
+        rule: str,
+        name: str,
+        anchor_path: str,
+        anchor_line: int,
+        message: str,
+        **attrs: object,
+    ) -> None:
+        finding = Finding(
+            path=anchor_path,
+            rule=rule,
+            name=name,
+            line=anchor_line,
+            col=0,
+            message=message,
+        )
+        # One finding per (rule, message) — the same defect shows up on
+        # many catalog graphs; the span stream keeps every instance.
+        findings.setdefault(finding.fingerprint(), finding)
+        tracer.add_span("verify.counterexample", 0.0, rule=rule, **attrs)
+
+    for tau in taus:
+        k = math.ceil(tau / 2)
+        for n, edges in catalog:
+            adj = _adjacency(n, edges)
+            graph_desc = _fmt_graph(n, edges)
+
+            for kind, spec in sorted(contract.floods.items()):
+                site = contract.send_site(kind)
+                anchor_path = site.path if site else "<contract>"
+                anchor_line = site.line if site else 1
+                if spec.radius_symbol is None:
+                    emit(
+                        "REPRO221",
+                        "flood-coverage",
+                        anchor_path,
+                        anchor_line,
+                        f"{kind} flood: initial ttl "
+                        f"`{spec.initial_ttl}` does not derive from a "
+                        "known radius (k or m); coverage unverifiable",
+                        kind=kind,
+                        tau=tau,
+                    )
+                    continue
+                radius = _radius_for(spec.radius_symbol, tau)
+                for origin in sorted(adj):
+                    report.flood_cases += 1
+                    res = _run_flood(
+                        adj, origin, radius, spec, max_rounds=radius + 2
+                    )
+                    report.interleavings_explored += res.interleavings
+                    report.max_branch_width = max(
+                        report.max_branch_width, res.max_branch_width
+                    )
+                    if res.truncated:
+                        report.truncated_cases += 1
+                    if not res.terminated:
+                        emit(
+                            "REPRO220",
+                            "ttl-termination",
+                            anchor_path,
+                            anchor_line,
+                            f"{kind} flood admits an execution that is "
+                            f"still sending after {radius + 2} rounds "
+                            "(ttl budget does not bound the flood)",
+                            kind=kind,
+                            tau=tau,
+                            graph=graph_desc,
+                            origin=origin,
+                            schedule=res.trace or "",
+                        )
+                        continue
+                    # Receivers = the radius ball.  The origin itself is
+                    # covered when the budget allows even one relay
+                    # (radius >= 2): a neighbour echoes the notice back,
+                    # exactly as in the runtime where winners stay
+                    # active through the flood rounds.
+                    expected = frozenset(_ball(adj, origin, radius))
+                    if radius < 2:
+                        expected = frozenset(adj[origin])
+                    for coverage in sorted(res.coverages, key=sorted):
+                        if coverage != expected:
+                            emit(
+                                "REPRO221",
+                                "flood-coverage",
+                                anchor_path,
+                                anchor_line,
+                                f"{kind} flood coverage is not the "
+                                f"{spec.radius_symbol}-ball: an "
+                                "interleaving reaches "
+                                "a different node set than the radius "
+                                f"{radius} ball of the origin",
+                                kind=kind,
+                                tau=tau,
+                                graph=graph_desc,
+                                origin=origin,
+                                got=sorted(coverage),
+                                expected=sorted(expected),
+                            )
+                            break
+
+            if contract.gossip_kinds:
+                gossip_site = contract.send_site(contract.gossip_kinds[0])
+                anchor_path = gossip_site.path if gossip_site else "<contract>"
+                anchor_line = gossip_site.line if gossip_site else 1
+                report.gossip_cases += 1
+                views, converged, inter = _run_gossip(adj, rounds=k)
+                report.interleavings_explored += inter
+                if not converged:
+                    emit(
+                        "REPRO222",
+                        "view-convergence",
+                        anchor_path,
+                        anchor_line,
+                        "gossip views depend on inbox delivery order; "
+                        "first-writer-wins merge is not confluent here",
+                        tau=tau,
+                        graph=graph_desc,
+                    )
+                for v in sorted(adj):
+                    expected_keys = _ball(adj, v, k)
+                    got_keys = set(views[v])
+                    ok_keys = got_keys == expected_keys
+                    ok_rows = all(
+                        views[v][u] == adj[u] for u in got_keys & set(adj)
+                    )
+                    if not (ok_keys and ok_rows):
+                        emit(
+                            "REPRO222",
+                            "view-convergence",
+                            anchor_path,
+                            anchor_line,
+                            f"after k={k} gossip rounds a node's view is "
+                            "not exactly its k-ball adjacency rows",
+                            tau=tau,
+                            graph=graph_desc,
+                            node=v,
+                            got=sorted(got_keys),
+                            expected=sorted(expected_keys),
+                        )
+                        break
+
+    report.findings = sorted(findings.values(), key=lambda f: f.sort_key)
+    return report

@@ -27,7 +27,7 @@ seeds.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.checks.engine import Finding, ModuleContext, Rule
 

@@ -1,0 +1,237 @@
+"""``repro-verify``: protocol verification front for the runtime.
+
+Three passes, one verdict:
+
+1. **Contract extraction** (:mod:`repro.checks.protocol`, REPRO20x) —
+   derives the send/handle matrix from ``runtime/`` and checks payload
+   schemas, ttl relays, drop accounting, and cross-module constants.
+2. **Locality flow** (:mod:`repro.checks.locality`, REPRO21x) — proves
+   per-node decision paths read only their own view and inbox; global
+   reads survive only behind reasoned ``# repro: allow[...]`` comments.
+3. **Bounded model checking** (:mod:`repro.checks.model`, REPRO22x) —
+   executes the extracted contract over every delivery interleaving on
+   small graphs, asserting TTL termination, radius-ball flood coverage,
+   and gossip view convergence.
+
+Examples::
+
+    repro-verify                       # all three passes on src/
+    repro-verify --json                # stable machine-readable report
+    repro-verify --skip-model          # static passes only (fast)
+    repro-verify --max-n 4 --tau 3     # smaller model-checking envelope
+    repro-verify --list-rules
+
+Exit status: 0 when no *new* findings (baselined ones are summarised but
+do not fail), 1 otherwise.  The JSON report (``repro-verify/v1``)
+contains the findings, the extracted send/handle matrix, and the model
+checker's coverage statistics, each rendered deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.checks.engine import (
+    Baseline,
+    Finding,
+    LintEngine,
+    render_text,
+)
+from repro.checks.locality import LOCALITY_RULES, default_locality_rules
+from repro.checks.model import MODEL_RULES, ModelReport, check_model
+from repro.checks.protocol import (
+    PROTOCOL_RULES,
+    ProtocolContract,
+    check_constants,
+    extract_contract,
+)
+
+DEFAULT_BASELINE = "repro-verify.baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=(
+            "Protocol contract extraction, locality flow analysis, and "
+            "bounded model checking for the distributed DCC runtime."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to verify (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit stable JSON instead of text"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rules and exit"
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--skip-model",
+        action="store_true",
+        help="skip the bounded model checker (static passes only)",
+    )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=6,
+        metavar="N",
+        help="largest graph size the model checker enumerates (default: 6)",
+    )
+    parser.add_argument(
+        "--tau",
+        type=int,
+        action="append",
+        default=None,
+        metavar="TAU",
+        help="confine size(s) to model-check (default: 3 and 5; repeatable)",
+    )
+    return parser
+
+
+def _all_rule_rows() -> List[tuple]:
+    return list(PROTOCOL_RULES) + list(LOCALITY_RULES) + list(MODEL_RULES)
+
+
+def run_verify(
+    paths: List[Path],
+    root: Path,
+    taus: tuple,
+    max_n: int,
+    skip_model: bool,
+) -> tuple:
+    """The three passes; returns ``(findings, contract, model_report)``."""
+    contract, findings = extract_contract(paths, root=root)
+    findings = list(findings)
+    findings.extend(check_constants(root))
+
+    engine = LintEngine(list(default_locality_rules()), root=root)
+    findings.extend(engine.lint(paths))
+
+    model_report: Optional[ModelReport] = None
+    if not skip_model:
+        model_report = check_model(contract, taus=taus, max_n=max_n)
+        findings.extend(model_report.findings)
+
+    return sorted(findings, key=lambda f: f.sort_key), contract, model_report
+
+
+def render_report(
+    findings: List[Finding],
+    contract: ProtocolContract,
+    model_report: Optional[ModelReport],
+) -> str:
+    """The ``repro-verify/v1`` JSON document (sorted keys, stable)."""
+    payload: Dict[str, object] = {
+        "format": "repro-verify/v1",
+        "count": len(findings),
+        "findings": [f.as_dict() for f in findings],
+        "contract": {
+            "kinds": list(contract.kinds),
+            "matrix": contract.matrix(),
+            "payload_by_kind": dict(sorted(contract.payload_by_kind.items())),
+            "gossip_kinds": list(contract.gossip_kinds),
+            "floods": {
+                kind: {
+                    "initial_ttl": spec.initial_ttl,
+                    "radius_symbol": spec.radius_symbol,
+                    "decrements": spec.decrements,
+                    "guarded": spec.guarded,
+                    "dedup_by_origin": spec.dedup_by_origin,
+                }
+                for kind, spec in sorted(contract.floods.items())
+            },
+        },
+        "model": model_report.as_dict() if model_report is not None else None,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, name, summary in _all_rule_rows():
+            print(f"{rule_id}  {name:24s} {summary}")
+        return 0
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    taus = tuple(args.tau) if args.tau else (3, 5)
+    baseline_path = (
+        Path(args.baseline)
+        if Path(args.baseline).is_absolute()
+        else root / args.baseline
+    )
+
+    findings, contract, model_report = run_verify(
+        paths, root, taus=taus, max_n=args.max_n, skip_model=args.skip_model
+    )
+
+    if args.update_baseline:
+        baseline = Baseline(f.fingerprint() for f in findings)
+        baseline.save(baseline_path)
+        print(f"baseline: {len(baseline)} findings -> {baseline_path}")
+        return 0
+
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    if baseline is None:
+        fresh, parked = findings, []
+    else:
+        fresh = [f for f in findings if f not in baseline]
+        parked = [f for f in findings if f in baseline]
+
+    if args.json:
+        print(render_report(fresh, contract, model_report))
+    else:
+        if fresh:
+            print(render_text(fresh))
+        matrix = contract.matrix()
+        kinds = ", ".join(
+            f"{kind}({cell['sent']}s/{cell['handled']}h)"
+            for kind, cell in sorted(matrix.items())
+        )
+        print(f"repro-verify: contract {kinds or '<empty>'}")
+        if model_report is not None:
+            print(
+                "repro-verify: model checked "
+                f"{model_report.graphs_checked} graphs, "
+                f"{model_report.flood_cases} flood cases, "
+                f"{model_report.interleavings_explored} interleavings"
+            )
+        summary = f"repro-verify: {len(fresh)} finding(s)"
+        if parked:
+            summary += f" ({len(parked)} baselined)"
+        print(summary)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ from ``k`` internally vertex-disjoint such paths (Menger).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Set
 
 from repro.network.graph import NetworkGraph
 

@@ -19,7 +19,7 @@ length-capped Horton candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.cycles.cycle_space import Cycle, EdgeIndex
 from repro.cycles.gf2 import gf2_solve

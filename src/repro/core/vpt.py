@@ -15,7 +15,7 @@ cheaper) spanning test of :class:`repro.cycles.ShortCycleSpan`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph

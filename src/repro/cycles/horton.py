@@ -25,7 +25,7 @@ integers rather than ``|E|``-bit ones, which shrinks every XOR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cycles.cycle_space import (
     Cycle,

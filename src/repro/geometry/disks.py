@@ -10,7 +10,7 @@ region, and the sensing disks of the cycle nodes leave no hole when
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.network.node import Position, distance
 

@@ -9,7 +9,7 @@ valid embedding of the model it claims to follow.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict
 
 from repro.network.graph import NetworkGraph
 from repro.network.node import Position, distance

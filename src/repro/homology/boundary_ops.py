@@ -8,11 +8,11 @@ fence simplices are simply projected out (their bits dropped).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cycles.gf2 import GF2Basis
-from repro.homology.simplicial import FenceSubcomplex, RipsComplex, Triangle
-from repro.network.graph import Edge, NetworkGraph, canonical_edge
+from repro.homology.simplicial import RipsComplex
+from repro.network.graph import Edge, NetworkGraph
 
 
 class ChainBasis:

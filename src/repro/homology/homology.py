@@ -18,7 +18,6 @@ vertices, it equals ``|V_rel|`` minus the number of connected components of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set, Tuple
 
 from repro.cycles.cycle_space import cycle_space_dimension
 from repro.homology.boundary_ops import (
@@ -27,7 +26,6 @@ from repro.homology.boundary_ops import (
     gf2_column_rank,
 )
 from repro.homology.simplicial import FenceSubcomplex, RipsComplex
-from repro.network.graph import NetworkGraph
 
 
 @dataclass(frozen=True)

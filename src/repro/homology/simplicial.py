@@ -11,7 +11,7 @@ holes, which is what makes the complex relevant to coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.network.graph import Edge, NetworkGraph, canonical_edge
 

@@ -10,7 +10,7 @@ the active cost, and coverage duty can rotate between shifts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Set
 
 

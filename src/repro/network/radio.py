@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.network.graph import NetworkGraph
 from repro.network.node import Position, distance

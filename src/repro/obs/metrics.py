@@ -202,6 +202,11 @@ class MetricsRegistry:
         self.inc(prefix + "deletion_iterations", stats.deletion_iterations)
         for kind, count in sorted(stats.messages_by_kind.items()):
             self.inc(f"{prefix}messages_by_kind.{kind}", count)
+        # Dropped-message counters only materialise when non-zero, so a
+        # clean run's report is byte-identical to the pre-counter era.
+        for kind, count in sorted(stats.messages_dropped.items()):
+            if count:
+                self.inc(f"{prefix}messages_dropped.{kind}", count)
         self.absorb_topology(stats.topology)
 
     # ------------------------------------------------------------------

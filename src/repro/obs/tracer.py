@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: picklable wire format for a span: (name, depth, start_s, wall_s, cpu_s, attrs)
 SpanTuple = Tuple[str, int, float, float, float, Dict[str, Any]]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, FrozenSet, Set, Tuple
+from typing import Any, FrozenSet, Tuple
 
 
 class MessageKind(Enum):

@@ -53,6 +53,7 @@ def distributed_mis(
         for node in list(sim.active):
             for message in sim.inbox(node):
                 if message.kind is not MessageKind.PRIORITY:
+                    sim.stats.record_drop(message.kind.value)
                     continue
                 payload = message.payload
                 token = (payload.priority, payload.origin)

@@ -16,7 +16,7 @@ integration tests check both produce valid, non-redundant coverage sets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.vpt import deletion_radius
@@ -186,6 +186,9 @@ class DistributedDCC:
             self.metrics.inc("protocol.deletions", len(removed))
             self.metrics.absorb_runtime(self.sim.stats)
         return DistributedResult(
+            # The surviving topology is collected for the caller *after*
+            # the protocol fixpoint — no node decision reads it.
+            # repro: allow[global-graph-read] result assembly, post-fixpoint
             active=self.sim.graph.copy(),
             removed=removed,
             iterations=iterations,
@@ -208,6 +211,8 @@ class DistributedDCC:
                 span_memo=self.span_memo,
                 tracer=self.tracer,
             )
+            # A radio hears its one-hop neighbours for free; this seeds
+            # repro: allow[global-graph-read] bootstrap, round-0 gossip only
             view.merge(((node, frozenset(sim.graph.neighbors(node))),))
             self.views[node] = view
         for __ in range(self.k):
@@ -226,6 +231,8 @@ class DistributedDCC:
                 for message in sim.inbox(node):
                     if message.kind is MessageKind.TOPOLOGY:
                         view.merge(message.payload.adjacency)
+                    else:
+                        sim.stats.record_drop(message.kind.value)
 
     def _local_candidates(self) -> List[int]:
         """Nodes that decide — from their own view — they are deletable.
@@ -264,6 +271,7 @@ class DistributedDCC:
             for node in list(sim.active):
                 for message in sim.inbox(node):
                     if message.kind is not MessageKind.DELETE:
+                        sim.stats.record_drop(message.kind.value)
                         continue
                     payload = message.payload
                     self.views[node].forget(payload.origin)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from time import perf_counter
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import current_metrics, current_tracer

@@ -16,6 +16,11 @@ class RuntimeStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: delivered messages a protocol phase received but did not handle
+    #: (e.g. a non-DELETE kind arriving during the deletion flood),
+    #: partitioned by kind.  Handler totality (REPRO205) requires every
+    #: kind-filtered inbox loop to account for what it skips here.
+    messages_dropped: Dict[str, int] = field(default_factory=dict)
     deletion_iterations: int = 0
     #: aggregated local-topology work across every node's engine
     topology: TopologyCounters = field(default_factory=TopologyCounters)
@@ -34,6 +39,17 @@ class RuntimeStats:
         self.messages_delivered += deliveries
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
 
+    def record_drop(self, kind: str, count: int = 1) -> None:
+        """Account for ``count`` delivered-but-unhandled messages.
+
+        A phase that filters its inbox by kind must route every skipped
+        message through here, so "silently discarded" is an accounting
+        state rather than an invisible one.
+        """
+        self.messages_dropped[kind] = (
+            self.messages_dropped.get(kind, 0) + count
+        )
+
     def merge(self, other: "RuntimeStats") -> None:
         self.rounds += other.rounds
         self.messages_sent += other.messages_sent
@@ -43,6 +59,10 @@ class RuntimeStats:
             self.messages_by_kind[kind] = (
                 self.messages_by_kind.get(kind, 0) + count
             )
+        for kind, count in other.messages_dropped.items():
+            self.messages_dropped[kind] = (
+                self.messages_dropped.get(kind, 0) + count
+            )
         self.topology.merge(other.topology)
 
     def summary(self) -> str:
@@ -51,8 +71,14 @@ class RuntimeStats:
         )
         # An empty kind breakdown used to render as a bare "[]"; omit it.
         breakdown = f" [{kinds}]" if kinds else ""
+        drops = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.messages_dropped.items())
+            if count
+        )
+        dropped = f" dropped[{drops}]" if drops else ""
         return (
             f"rounds={self.rounds} sent={self.messages_sent} "
-            f"delivered={self.messages_delivered}{breakdown} | "
+            f"delivered={self.messages_delivered}{breakdown}{dropped} | "
             f"{self.topology.summary()}"
         )

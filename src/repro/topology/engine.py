@@ -37,14 +37,14 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.checks.sanitizer import current_sanitizer
 from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import NULL_TRACER
 from repro.topology.counters import TopologyCounters
-from repro.topology.signature import SpanMemo, graph_signature
+from repro.topology.signature import SpanMemo
 
 BallKey = Tuple[int, int]  # (center, radius)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.network.graph import Edge, NetworkGraph, SubgraphView
+from repro.network.graph import Edge, SubgraphView
 
 #: (sorted vertices, sorted edges) — a canonical labelled-subgraph key.
 SubgraphSignature = Tuple[Tuple[int, ...], Tuple[Edge, ...]]

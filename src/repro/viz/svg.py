@@ -8,9 +8,8 @@ holes.  The output opens in any browser.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.network.graph import NetworkGraph
 from repro.network.node import Position

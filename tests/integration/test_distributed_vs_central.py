@@ -13,7 +13,7 @@ from repro.core.criterion import is_tau_partitionable
 from repro.core.scheduler import dcc_schedule
 from repro.core.vpt import deletable_vertices
 from repro.network.deployment import Rectangle, build_network
-from repro.network.topologies import annulus_network, triangulated_grid
+from repro.network.topologies import triangulated_grid
 from repro.runtime.protocol import distributed_dcc_schedule
 
 

@@ -1,6 +1,5 @@
 """Property-based tests for Proposition 1's threshold structure."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

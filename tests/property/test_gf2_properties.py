@@ -1,6 +1,6 @@
 """Property-based tests for GF(2) linear algebra."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cycles.gf2 import GF2Basis, gf2_rank, gf2_solve

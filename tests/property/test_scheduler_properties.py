@@ -11,8 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core.criterion import is_tau_partitionable
 from repro.core.scheduler import dcc_schedule, mis_by_distance
-from repro.core.vpt import deletable_vertices, vertex_deletable
-from repro.network.graph import NetworkGraph
+from repro.core.vpt import deletable_vertices
 from repro.network.topologies import triangulated_grid
 
 

@@ -1,0 +1,95 @@
+"""Property-based tests for the bounded model checker.
+
+The model checker carries its own BFS and flood semantics, deliberately
+independent of :mod:`repro.network`.  These properties pit the two
+implementations against each other on random connected graphs: the
+flood executor's coverage must equal the ball oracle computed with
+``NetworkGraph.bfs_distances``, and the gossip executor's views must
+match ``k_hop_neighborhood``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks.model import _adjacency, _run_flood, _run_gossip
+from repro.checks.protocol import FloodSpec
+from repro.network.graph import NetworkGraph
+
+SPEC = FloodSpec(
+    kind="DELETE",
+    initial_ttl="self.k - 1",
+    radius_symbol="k",
+    decrements=True,
+    guarded=True,
+    dedup_by_origin=True,
+)
+
+
+def random_connected_graph(n: int, seed: int):
+    """A random connected labeled graph: spanning tree + random extras."""
+    rng = random.Random(seed)
+    edges = set()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        edges.add(tuple(sorted((order[i], rng.choice(order[:i])))))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.3:
+                edges.add((u, v))
+    return tuple(sorted(edges))
+
+
+class TestFloodCoverageOracle:
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(0, 999),
+        radius=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_equals_bfs_ball(self, n, seed, radius):
+        edges = random_connected_graph(n, seed)
+        adj = _adjacency(n, edges)
+        graph = NetworkGraph(range(n), edges)
+        for origin in range(n):
+            result = _run_flood(adj, origin, radius, SPEC, max_rounds=radius + 2)
+            assert result.terminated
+            dist = graph.bfs_distances(origin)
+            ball = {v for v, d in dist.items() if d <= radius}
+            # radius >= 2: a neighbour echoes the flood back to the origin.
+            assert result.coverages == {frozenset(ball)}
+
+    @given(n=st.integers(min_value=2, max_value=6), seed=st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_flood_is_order_insensitive(self, n, seed):
+        """The intact spec admits exactly one outcome per origin."""
+        edges = random_connected_graph(n, seed)
+        adj = _adjacency(n, edges)
+        for origin in range(n):
+            result = _run_flood(adj, origin, 2, SPEC, max_rounds=4)
+            assert result.max_branch_width == 1
+            assert len(result.coverages) == 1
+
+
+class TestGossipViewOracle:
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(0, 999),
+        k=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_views_equal_k_hop_neighborhood(self, n, seed, k):
+        edges = random_connected_graph(n, seed)
+        adj = _adjacency(n, edges)
+        graph = NetworkGraph(range(n), edges)
+        views, converged, __ = _run_gossip(adj, rounds=k)
+        assert converged
+        for v in range(n):
+            expected = graph.k_hop_neighborhood(v, k) | {v}
+            assert set(views[v]) == expected
+            for u, row in views[v].items():
+                assert row == graph.neighbors(u)

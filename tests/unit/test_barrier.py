@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.barrier import (
-    BarrierResult,
     barrier_exists,
     barrier_strength,
     schedule_barrier,

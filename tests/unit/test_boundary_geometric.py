@@ -1,6 +1,5 @@
 """Unit tests for geometric boundary extraction."""
 
-import math
 
 import pytest
 

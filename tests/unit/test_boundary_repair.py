@@ -7,7 +7,6 @@ from repro.core.boundary_repair import (
     repair_inner_boundaries,
 )
 from repro.core.criterion import is_tau_partitionable
-from repro.network.topologies import annulus_network
 
 
 class TestConeFilling:

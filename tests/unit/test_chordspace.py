@@ -1,11 +1,10 @@
 """Unit tests for the chord-space internals of the Horton machinery."""
 
-import pytest
 
 from repro.cycles.cycle_space import cycle_space_dimension
 from repro.cycles.horton import _ChordSpace
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import cycle_graph, triangulated_grid
+from repro.network.topologies import cycle_graph
 
 
 class TestChordSpace:

@@ -1,6 +1,5 @@
 """Unit tests for the geometric coverage referee."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ from repro.core.criterion import (
     verify_confine_coverage,
 )
 from repro.cycles.horton import ShortCycleSpan
-from repro.network.graph import NetworkGraph
 
 
 class TestCycleEdges:

@@ -1,12 +1,9 @@
 """Unit tests for regions, deployments and network construction."""
 
-import math
-import random
 
 import pytest
 
 from repro.network.deployment import (
-    Network,
     Rectangle,
     build_network,
     deploy_grid,
@@ -14,7 +11,6 @@ from repro.network.deployment import (
     deploy_uniform,
     network_for_average_degree,
 )
-from repro.network.radio import UnitDiskRadio
 
 
 class TestRectangle:

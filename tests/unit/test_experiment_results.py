@@ -1,6 +1,5 @@
 """Unit tests for experiment result containers (no heavy computation)."""
 
-import pytest
 
 from repro.analysis.experiments import (
     Fig1Result,

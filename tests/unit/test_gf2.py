@@ -1,6 +1,5 @@
 """Unit tests for GF(2) linear algebra on bitmask integers."""
 
-import pytest
 
 from repro.cycles.gf2 import GF2Basis, gf2_in_span, gf2_rank, gf2_solve, popcount
 

@@ -11,7 +11,6 @@ from repro.homology.hgc import (
     hgc_verify,
 )
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import triangulated_grid, wheel_graph
 
 
 class TestVerification:

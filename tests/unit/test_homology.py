@@ -17,7 +17,6 @@ from repro.homology.homology import (
 )
 from repro.homology.simplicial import FenceSubcomplex, RipsComplex
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import cycle_graph, wheel_graph
 
 
 class TestBoundaryOperators:

@@ -13,7 +13,6 @@ from repro.cycles.horton import (
     minimum_cycle_basis,
 )
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import cycle_graph, square_grid, wheel_graph
 
 from tests.conftest import random_graph
 

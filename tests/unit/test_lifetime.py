@@ -11,7 +11,7 @@ from repro.core.lifetime import (
 )
 from repro.core.vpt import deletable_vertices
 from repro.network.energy import EnergyModel
-from repro.network.topologies import triangulated_grid, wheel_graph
+from repro.network.topologies import triangulated_grid
 
 
 class TestEnergyAwareSchedule:

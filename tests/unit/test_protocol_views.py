@@ -28,6 +28,25 @@ class TestLocalView:
         assert 2 not in view.adjacency
         assert 2 not in view.adjacency[1]
 
+    def test_stale_row_cannot_resurrect_forgotten_node(self):
+        """A stale TOPOLOGY row must not bring a deleted neighbour back.
+
+        After a DELETE makes a node ``forget(2)``, replaying a surviving
+        neighbour's pre-deletion row (which still lists 2) must not
+        reintroduce the edge: the key is already known, so the
+        ``node not in self.adjacency`` guard rejects the stale copy and
+        the cleaned-up row stands.
+        """
+        view = _LocalView()
+        view.merge(((1, frozenset({2, 3})), (2, frozenset({1})), (3, frozenset({1}))))
+        view.forget(2)
+        assert 2 not in view.adjacency
+        assert view.adjacency[1] == frozenset({3})
+        # Replay 1's pre-deletion gossip row verbatim.
+        assert not view.merge(((1, frozenset({2, 3})),))
+        assert view.adjacency[1] == frozenset({3})
+        assert 2 not in view.as_graph()
+
     def test_as_graph_connects_known_rows(self):
         view = _LocalView()
         view.merge(((1, frozenset({2})), (2, frozenset({1, 3}))))

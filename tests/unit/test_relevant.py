@@ -10,7 +10,6 @@ from repro.cycles.relevant import (
     relevant_cycles_exact,
 )
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import cycle_graph, wheel_graph
 
 from tests.conftest import random_graph
 

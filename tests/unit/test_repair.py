@@ -11,7 +11,7 @@ from repro.core.repair import (
     repair_coverage,
 )
 from repro.core.scheduler import dcc_schedule
-from repro.network.topologies import triangulated_grid, wheel_graph
+from repro.network.topologies import triangulated_grid
 
 
 @pytest.fixture

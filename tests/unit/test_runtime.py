@@ -1,18 +1,12 @@
 """Unit tests for the message-passing simulator, MIS, and DCC protocol."""
 
 import random
-
-import pytest
+from itertools import combinations
 
 from repro.core.vpt import deletable_vertices
 from repro.network.graph import NetworkGraph
-from repro.network.topologies import triangulated_grid, wheel_graph
-from repro.runtime.messages import (
-    DeletePayload,
-    Message,
-    MessageKind,
-    PriorityPayload,
-)
+from repro.network.topologies import wheel_graph
+from repro.runtime.messages import Message, MessageKind
 from repro.runtime.mis import distributed_mis
 from repro.runtime.protocol import DistributedDCC, distributed_dcc_schedule
 from repro.runtime.simulator import Simulator
@@ -73,6 +67,21 @@ class TestRuntimeStats:
         stats = RuntimeStats()
         stats.record_send("delete", 2)
         assert "delete=1" in stats.summary()
+
+    def test_drop_counter_merges_and_surfaces(self):
+        a, b = RuntimeStats(), RuntimeStats()
+        a.record_drop("topology")
+        b.record_drop("topology", 2)
+        b.record_drop("priority")
+        a.merge(b)
+        assert a.messages_dropped == {"topology": 3, "priority": 1}
+        assert "dropped[" in a.summary()
+
+    def test_clean_run_summary_omits_drops(self):
+        """No drops -> no `dropped[...]` segment; reports stay stable."""
+        stats = RuntimeStats()
+        stats.record_send("delete", 2)
+        assert "dropped" not in stats.summary()
 
 
 class TestDistributedMIS:
@@ -137,3 +146,56 @@ class TestDistributedDCC:
         )
         assert result.iterations == result.stats.deletion_iterations
         assert result.iterations >= 1
+
+    def test_smallest_confine_tau3(self):
+        """tau = 3 is the smallest legal confine (k = 2, m = 3)."""
+        g = NetworkGraph(range(5), combinations(range(5), 2))  # K5
+        protocol = DistributedDCC(g, [0, 1], 3, rng=random.Random(0))
+        assert protocol.k == 2 and protocol.m == 3
+        result = protocol.run()
+        assert sorted(result.active.vertex_set()) == [0, 1]
+        assert sorted(result.removed) == [2, 3, 4]
+        assert deletable_vertices(result.active, 3, exclude={0, 1}) == []
+
+    def test_all_candidates_protected_is_immediate_fixpoint(self, trigrid6):
+        """Protecting every node leaves nothing to elect: one look, done."""
+        result = distributed_dcc_schedule(
+            trigrid6.graph,
+            trigrid6.graph.vertices(),
+            6,
+            rng=random.Random(0),
+        )
+        assert result.removed == []
+        assert result.iterations == 1
+        assert result.num_active == len(trigrid6.graph)
+
+    def test_max_iterations_exhaustion_stops_early(self, trigrid6):
+        """Exhausting the budget halts cleanly short of the fixpoint."""
+        boundary = set(trigrid6.outer_boundary)
+        full = distributed_dcc_schedule(
+            trigrid6.graph, boundary, 6, rng=random.Random(4)
+        )
+        assert full.iterations > 1  # the cap below genuinely binds
+        capped = DistributedDCC(
+            trigrid6.graph,
+            boundary,
+            6,
+            rng=random.Random(4),
+            max_iterations=1,
+        ).run()
+        assert capped.iterations == 1
+        assert len(capped.removed) < len(full.removed)
+        # Short of the fixpoint: deletable nodes remain.
+        assert deletable_vertices(capped.active, 6, exclude=boundary)
+
+    def test_stray_message_during_flood_is_counted_dropped(self):
+        """A non-DELETE message arriving mid-flood lands in the drop stats."""
+        g = NetworkGraph(range(3), [(0, 1), (1, 2)])
+        protocol = DistributedDCC(g, [], 3, rng=random.Random(0))
+        protocol._discover_topology()
+        assert protocol.sim.stats.messages_dropped == {}
+        protocol.sim.send(
+            Message(MessageKind.TOPOLOGY, src=0, payload=None)
+        )
+        protocol._announce_deletions([2])
+        assert protocol.sim.stats.messages_dropped == {"topology": 1}

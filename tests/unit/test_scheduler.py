@@ -11,8 +11,7 @@ from repro.core.scheduler import (
     mis_by_distance,
 )
 from repro.core.vpt import deletable_vertices
-from repro.network.graph import NetworkGraph
-from repro.network.topologies import triangulated_grid, wheel_graph
+from repro.network.topologies import wheel_graph
 
 
 class TestMIS:

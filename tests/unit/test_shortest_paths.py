@@ -1,6 +1,5 @@
 """Unit tests for deterministic shortest-path trees and LCA queries."""
 
-import pytest
 
 from repro.cycles.shortest_paths import ShortestPathTree
 from repro.network.graph import NetworkGraph

@@ -7,8 +7,6 @@ from repro.homology.simplicial import (
     RipsComplex,
     enumerate_triangles,
 )
-from repro.network.graph import NetworkGraph
-from repro.network.topologies import cycle_graph, wheel_graph
 
 
 class TestTriangleEnumeration:

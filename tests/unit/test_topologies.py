@@ -8,9 +8,7 @@ from repro.network.topologies import (
     annulus_network,
     cycle_graph,
     mobius_band_network,
-    square_grid,
     triangulated_grid,
-    wheel_graph,
 )
 
 

@@ -1,0 +1,519 @@
+"""Unit tests for the repro-verify front: protocol, locality, model, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks.engine import LintEngine
+from repro.checks.locality import default_locality_rules
+from repro.checks.model import (
+    _all_connected_graphs,
+    _run_flood,
+    _run_gossip,
+    check_model,
+    graph_catalog,
+)
+from repro.checks.protocol import (
+    FloodSpec,
+    ProtocolContract,
+    check_constants,
+    extract_contract,
+)
+from repro.checks.verify_cli import main as verify_main
+from repro.obs.tracer import Tracer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUNTIME = REPO_ROOT / "src" / "repro" / "runtime"
+
+
+# ----------------------------------------------------------------------
+# Fixture source: a minimal, *correct* one-kind flood protocol
+# ----------------------------------------------------------------------
+CLEAN_PROTO = '''
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MessageKind(Enum):
+    PING = "ping"
+
+
+@dataclass(frozen=True)
+class PingPayload:
+    origin: int
+    ttl: int
+
+
+def flood(sim, nodes, k, seen):
+    for v in nodes:
+        sim.send(Message(MessageKind.PING, src=v,
+                         payload=PingPayload(origin=v, ttl=k - 1)))
+    for __ in range(k):
+        sim.step()
+        for node in nodes:
+            for msg in sim.inbox(node):
+                if msg.kind is not MessageKind.PING:
+                    sim.stats.record_drop(msg.kind.value)
+                    continue
+                payload = msg.payload
+                if payload.ttl > 0 and payload.origin not in seen:
+                    sim.send(Message(MessageKind.PING, src=node,
+                                     payload=PingPayload(origin=payload.origin,
+                                                         ttl=payload.ttl - 1)))
+'''
+
+
+def extract_source(tmp_path: Path, source: str, rel: str = "repro/runtime/proto.py"):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return extract_contract([target], root=tmp_path)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# Contract extraction on the real runtime
+# ----------------------------------------------------------------------
+class TestRealRuntimeContract:
+    @pytest.fixture(scope="class")
+    def extracted(self):
+        return extract_contract([RUNTIME], root=REPO_ROOT)
+
+    def test_extraction_is_clean(self, extracted):
+        __, findings = extracted
+        assert findings == []
+
+    def test_matrix_is_total(self, extracted):
+        contract, __ = extracted
+        assert set(contract.kinds) == {"TOPOLOGY", "PRIORITY", "DELETE"}
+        for kind, cell in contract.matrix().items():
+            assert cell["sent"] >= 1, kind
+            assert cell["handled"] >= 1, kind
+
+    def test_floods_fully_proven(self, extracted):
+        contract, __ = extracted
+        assert set(contract.floods) == {"PRIORITY", "DELETE"}
+        assert contract.floods["DELETE"].radius_symbol == "k"
+        assert contract.floods["PRIORITY"].radius_symbol == "m"
+        for spec in contract.floods.values():
+            assert spec.decrements and spec.guarded and spec.dedup_by_origin
+
+    def test_topology_is_the_gossip_kind(self, extracted):
+        contract, __ = extracted
+        assert contract.gossip_kinds == ("TOPOLOGY",)
+
+    def test_constants_consistent(self):
+        assert check_constants(REPO_ROOT) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO20x on synthetic fixtures
+# ----------------------------------------------------------------------
+class TestProtocolRules:
+    def test_clean_fixture_has_no_findings(self, tmp_path):
+        contract, findings = extract_source(tmp_path, CLEAN_PROTO)
+        assert findings == []
+        spec = contract.floods["PING"]
+        assert spec.radius_symbol == "k"
+        assert spec.decrements and spec.guarded and spec.dedup_by_origin
+
+    def test_sent_unhandled(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            '    PING = "ping"',
+            '    PING = "ping"\n    PONG = "pong"',
+        ).replace(
+            "    for __ in range(k):",
+            "    sim.send(Message(MessageKind.PONG, src=0, payload=None))\n"
+            "    for __ in range(k):",
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO201" in rules_of(findings)
+
+    def test_dead_kind_is_handled_unsent(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            '    PING = "ping"',
+            '    PING = "ping"\n    DEAD = "dead"',
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert rules_of(findings) == ["REPRO202"]
+        assert "DEAD" in findings[0].message
+
+    def test_handler_for_unsent_kind(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            '    PING = "ping"',
+            '    PING = "ping"\n    PONG = "pong"',
+        ).replace(
+            "                payload = msg.payload",
+            "                if msg.kind is MessageKind.PONG:\n"
+            "                    pass\n"
+            "                payload = msg.payload",
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO202" in rules_of(findings)
+
+    def test_unknown_payload_field_read(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "if payload.ttl > 0", "if payload.hops > 0"
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO203" in rules_of(findings)
+        assert any("hops" in f.message for f in findings)
+
+    def test_constructor_with_unknown_field(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "PingPayload(origin=v, ttl=k - 1)",
+            "PingPayload(origin=v, ttl=k - 1, color=3)",
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO203" in rules_of(findings)
+
+    def test_constructor_missing_field(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "PingPayload(origin=v, ttl=k - 1)", "PingPayload(origin=v)"
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO203" in rules_of(findings)
+        assert any("ttl" in f.message for f in findings)
+
+    def test_relay_without_decrement(self, tmp_path):
+        source = CLEAN_PROTO.replace("ttl=payload.ttl - 1", "ttl=payload.ttl")
+        contract, findings = extract_source(tmp_path, source)
+        assert "REPRO204" in rules_of(findings)
+        assert contract.floods["PING"].decrements is False
+
+    def test_relay_without_guard(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "if payload.ttl > 0 and payload.origin not in seen:",
+            "if payload.origin not in seen:",
+        )
+        contract, findings = extract_source(tmp_path, source)
+        assert "REPRO204" in rules_of(findings)
+        assert contract.floods["PING"].guarded is False
+
+    def test_silent_drop(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "                    sim.stats.record_drop(msg.kind.value)\n", ""
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO205" in rules_of(findings)
+
+    def test_silent_drop_suppressible(self, tmp_path):
+        source = CLEAN_PROTO.replace(
+            "                    sim.stats.record_drop(msg.kind.value)\n", ""
+        ).replace(
+            "                if msg.kind is not MessageKind.PING:",
+            "                # repro: allow[silent-drop] fixture\n"
+            "                if msg.kind is not MessageKind.PING:",
+        )
+        __, findings = extract_source(tmp_path, source)
+        assert "REPRO205" not in rules_of(findings)
+
+
+class TestConstantConsistency:
+    def _write(self, tmp_path: Path, rel: str, source: str) -> None:
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+
+    def test_drifted_derivation_is_flagged(self, tmp_path):
+        self._write(
+            tmp_path,
+            "src/repro/core/vpt.py",
+            """
+            def deletion_radius(tau):
+                return neighborhood_radius(tau) + 1
+            """,
+        )
+        findings = check_constants(tmp_path)
+        assert rules_of(findings) == ["REPRO206"]
+        assert "neighborhood_radius(tau) + 1" in findings[0].message
+
+    def test_missing_site_is_flagged(self, tmp_path):
+        self._write(
+            tmp_path, "src/repro/core/vpt.py", "X = 1\n"
+        )
+        findings = check_constants(tmp_path)
+        assert rules_of(findings) == ["REPRO206"]
+        assert "not found" in findings[0].message
+
+    def test_absent_modules_are_skipped(self, tmp_path):
+        assert check_constants(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO21x locality rules
+# ----------------------------------------------------------------------
+class TestLocalityRules:
+    def lint(self, tmp_path: Path, source: str, rel="repro/runtime/logic.py"):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        engine = LintEngine(list(default_locality_rules()), root=tmp_path)
+        return engine.lint([target])
+
+    def test_real_runtime_is_clean(self):
+        engine = LintEngine(list(default_locality_rules()), root=REPO_ROOT)
+        assert engine.lint([RUNTIME]) == []
+
+    def test_global_graph_read_flagged(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def decide(sim):
+                for node in sim.active:
+                    if sim.graph.degree(node) > 1:
+                        pass
+            """,
+        )
+        assert rules_of(findings) == ["REPRO210"]
+
+    def test_allow_comment_suppresses(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def bootstrap(self, sim, node):
+                # repro: allow[global-graph-read] bootstrap only
+                return sim.graph.neighbors(node)
+            """,
+        )
+        assert findings == []
+
+    def test_foreign_view_access_flagged(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def peek(self, sim):
+                for node in sim.active:
+                    other = self.views[node + 1]
+                    gone = self.views.pop(3, None)
+            """,
+        )
+        assert rules_of(findings) == ["REPRO211"]
+        assert len(findings) == 2
+
+    def test_own_view_access_is_fine(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def read(self, sim, winner):
+                for node in sim.active:
+                    view = self.views[node]
+                self.views.pop(winner, None)
+            """,
+        )
+        assert findings == []
+
+    def test_inbox_confinement_flagged(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def eavesdrop(sim):
+                for node in sim.active:
+                    for msg in sim.inbox(0):
+                        pass
+            """,
+        )
+        assert rules_of(findings) == ["REPRO212"]
+
+    def test_substrate_files_are_exempt(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def deliver(sim):
+                return sim.graph
+            """,
+            rel="repro/runtime/simulator.py",
+        )
+        assert findings == []
+
+    def test_non_runtime_files_are_exempt(self, tmp_path):
+        findings = self.lint(
+            tmp_path,
+            """
+            def analyse(sim):
+                return sim.graph
+            """,
+            rel="repro/analysis/report.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REPRO22x bounded model checking
+# ----------------------------------------------------------------------
+def _contract_with(spec: FloodSpec) -> ProtocolContract:
+    contract = ProtocolContract()
+    contract.kinds = (spec.kind,)
+    contract.floods = {spec.kind: spec}
+    return contract
+
+
+GOOD_SPEC = FloodSpec(
+    kind="DELETE",
+    initial_ttl="self.k - 1",
+    radius_symbol="k",
+    decrements=True,
+    guarded=True,
+    dedup_by_origin=True,
+)
+
+
+class TestModelChecker:
+    def test_catalog_is_exhaustive_for_small_n(self):
+        assert len(_all_connected_graphs(2)) == 1
+        assert len(_all_connected_graphs(3)) == 4
+        assert len(_all_connected_graphs(4)) == 38
+        cases = graph_catalog(6)
+        assert len(cases) == 1 + 4 + 38 + 6 + 8
+        assert all(n <= 4 for n, __ in graph_catalog(4))
+
+    def test_real_contract_verifies(self):
+        contract, __ = extract_contract([RUNTIME], root=REPO_ROOT)
+        report = check_model(contract, taus=(3,), max_n=4)
+        assert report.findings == []
+        assert report.flood_cases > 0
+        assert report.gossip_cases > 0
+        assert report.max_branch_width == 1  # the intact contract is
+        # order-insensitive: every interleaving collapses to one outcome
+        assert report.truncated_cases == 0
+
+    def test_missing_decrement_breaks_coverage(self):
+        spec = FloodSpec("DELETE", "self.k - 1", "k",
+                         decrements=False, guarded=True, dedup_by_origin=True)
+        report = check_model(_contract_with(spec), taus=(3,), max_n=4)
+        assert rules_of(report.findings) == ["REPRO221"]
+
+    def test_unbounded_flood_breaks_termination(self):
+        spec = FloodSpec("DELETE", "self.k - 1", "k",
+                         decrements=False, guarded=False, dedup_by_origin=False)
+        report = check_model(_contract_with(spec), taus=(3,), max_n=3)
+        assert "REPRO220" in rules_of(report.findings)
+
+    def test_missing_guard_overshoots_by_one_hop(self):
+        spec = FloodSpec("DELETE", "self.k - 1", "k",
+                         decrements=True, guarded=False, dedup_by_origin=True)
+        report = check_model(_contract_with(spec), taus=(3,), max_n=4)
+        assert "REPRO221" in rules_of(report.findings)
+
+    def test_underivable_radius_is_reported(self):
+        spec = FloodSpec("DELETE", "budget", None,
+                         decrements=True, guarded=True, dedup_by_origin=True)
+        report = check_model(_contract_with(spec), taus=(3,), max_n=2)
+        assert "REPRO221" in rules_of(report.findings)
+        assert "unverifiable" in report.findings[0].message
+
+    def test_counterexamples_reach_the_tracer(self):
+        spec = FloodSpec("DELETE", "self.k - 1", "k",
+                         decrements=False, guarded=True, dedup_by_origin=True)
+        tracer = Tracer()
+        check_model(_contract_with(spec), taus=(3,), max_n=4, tracer=tracer)
+        spans = [s for s in tracer.spans() if s.name == "verify.counterexample"]
+        assert spans
+        attrs = spans[0].attrs
+        assert attrs["rule"] == "REPRO221"
+        assert {"graph", "origin", "tau", "got", "expected"} <= set(attrs)
+
+    def test_gossip_round_budget_is_sharp(self):
+        # path 0-1-2-3-4: after k=2 rounds node 0 knows exactly its 2-ball;
+        # one round fewer and the far rows are missing.
+        adj = {0: frozenset({1}), 1: frozenset({0, 2}),
+               2: frozenset({1, 3}), 3: frozenset({2, 4}), 4: frozenset({3})}
+        views, converged, __ = _run_gossip(adj, rounds=2)
+        assert converged
+        assert set(views[0]) == {0, 1, 2}
+        assert views[0][2] == adj[2]
+        short_views, __, __ = _run_gossip(adj, rounds=1)
+        assert set(short_views[0]) == {0, 1}
+
+    def test_view_divergence_is_reported(self, monkeypatch):
+        # First-writer-wins over *consistent* rows is confluent, so a
+        # divergence can only come from a broken merge; fake one to pin
+        # the REPRO222 reporting path.
+        import repro.checks.model as model_mod
+
+        def broken_gossip(adj, rounds):
+            views = {v: {v: adj[v]} for v in adj}
+            return views, False, 0
+
+        monkeypatch.setattr(model_mod, "_run_gossip", broken_gossip)
+        contract = ProtocolContract()
+        contract.gossip_kinds = ("TOPOLOGY",)
+        report = check_model(contract, taus=(3,), max_n=2)
+        assert "REPRO222" in rules_of(report.findings)
+
+    def test_flood_execution_matches_bfs_ball(self):
+        # prism graph, radius 2: coverage must equal the 2-ball (origin
+        # included — a neighbour echoes the notice back).
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5),
+                 (0, 3), (1, 4), (2, 5)]
+        adj = {v: frozenset(u for a, b in edges for u in (a, b)
+                            if v in (a, b) and u != v) for v in range(6)}
+        res = _run_flood(adj, 0, 2, GOOD_SPEC, max_rounds=4)
+        assert res.terminated
+        assert res.coverages == {frozenset(range(6))}
+
+
+# ----------------------------------------------------------------------
+# The CLI
+# ----------------------------------------------------------------------
+class TestVerifyCli:
+    def test_list_rules(self, capsys):
+        assert verify_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REPRO201", "REPRO206", "REPRO210", "REPRO212",
+                        "REPRO220", "REPRO222"):
+            assert rule_id in out
+
+    def test_repo_verifies_clean(self, capsys):
+        code = verify_main(
+            ["src/repro/runtime", "--root", str(REPO_ROOT),
+             "--max-n", "4", "--tau", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+        assert "model checked" in out
+
+    def test_json_report_shape(self, capsys):
+        code = verify_main(
+            ["src/repro/runtime", "--root", str(REPO_ROOT),
+             "--json", "--max-n", "3", "--tau", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-verify/v1"
+        assert payload["count"] == 0
+        matrix = payload["contract"]["matrix"]
+        assert set(matrix) == {"TOPOLOGY", "PRIORITY", "DELETE"}
+        assert payload["model"]["graphs_checked"] > 0
+        assert payload["contract"]["floods"]["DELETE"]["decrements"] is True
+
+    def test_skip_model_omits_model_section(self, capsys):
+        code = verify_main(
+            ["src/repro/runtime", "--root", str(REPO_ROOT),
+             "--json", "--skip-model"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] is None
+
+    def test_violations_fail_and_baseline_parks_them(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime" / "proto.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            CLEAN_PROTO.replace("ttl=payload.ttl - 1", "ttl=payload.ttl")
+        )
+        argv = [str(target), "--root", str(tmp_path), "--skip-model"]
+        assert verify_main(argv) == 1
+        assert "REPRO204" in capsys.readouterr().out
+        assert verify_main(argv + ["--update-baseline"]) == 0
+        capsys.readouterr()
+        assert verify_main(argv) == 0
+        assert "baselined" in capsys.readouterr().out
