@@ -18,6 +18,7 @@ from repro.obs.export import merge_json_entry
 from repro.traces.greenorbs import GreenOrbsConfig, generate_greenorbs_trace
 
 BENCH_KERNEL_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+BENCH_SHARD_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
 
 
 def pytest_addoption(parser):
@@ -66,5 +67,20 @@ def bench_record():
 
     def record(name: str, entry: Dict[str, Any]) -> None:
         merge_json_entry(BENCH_KERNEL_JSON, name, entry)
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def shard_bench_record():
+    """Merge named entries into ``BENCH_shard.json`` at the repo root.
+
+    Same merge convention as ``bench_record``, separate file: the shard
+    benches track deployment-scale numbers (wall time, halo traffic)
+    whose history is worth keeping apart from the kernel microbenches.
+    """
+
+    def record(name: str, entry: Dict[str, Any]) -> None:
+        merge_json_entry(BENCH_SHARD_JSON, name, entry)
 
     return record

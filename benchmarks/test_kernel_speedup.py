@@ -189,7 +189,16 @@ def test_sweep_workers_equivalence(benchmark, bench_record):
 
 
 def test_schedule_fanout_equivalence(benchmark, bench_record):
-    """``dcc_schedule(workers=2)`` deletes the same vertices as serial."""
+    """``dcc_schedule(workers=2)`` deletes the same vertices as serial.
+
+    This deployment sits *below* the process-fanout crossover (the very
+    regression this bench's earlier numbers exposed: 0.54s fanned vs
+    0.04s serial at 250 nodes), so the plain ``workers=2`` run must
+    silently stay serial; a second run forces the pool on via
+    ``REPRO_FANOUT_MIN_NODES=0`` to keep the identity contract measured.
+    """
+    from repro.parallel.runner import fanout_crossover
+
     graph, protected = _deployment()
 
     def run(workers):
@@ -199,8 +208,21 @@ def test_schedule_fanout_equivalence(benchmark, bench_record):
         )
         return result, time.perf_counter() - start
 
-    (serial, serial_wall), (fanned, fanned_wall) = benchmark.pedantic(
-        lambda: (run(1), run(2)), rounds=1, iterations=1
+    def measure():
+        gated = run(1), run(2)
+        previous = os.environ.get("REPRO_FANOUT_MIN_NODES")
+        os.environ["REPRO_FANOUT_MIN_NODES"] = "0"
+        try:
+            forced = run(2)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_FANOUT_MIN_NODES", None)
+            else:
+                os.environ["REPRO_FANOUT_MIN_NODES"] = previous
+        return gated, forced
+
+    ((serial, serial_wall), (gated, gated_wall)), (forced, forced_wall) = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
     )
     entry = {
         "nodes": NODES,
@@ -208,13 +230,24 @@ def test_schedule_fanout_equivalence(benchmark, bench_record):
         "workers": 2,
         "cpu_count": os.cpu_count(),
         "scale": "smoke" if SMOKE else "full",
-        "removed_identical": fanned.removed == serial.removed,
+        "crossover_min_nodes": fanout_crossover(),
+        "fanout_engaged": gated.counters.deletability_tests
+        > serial.counters.deletability_tests,
+        "removed_identical": gated.removed == serial.removed
+        and forced.removed == serial.removed,
         "serial_wall_s": round(serial_wall, 4),
-        "workers2_wall_s": round(fanned_wall, 4),
+        "workers2_wall_s": round(gated_wall, 4),
+        "workers2_forced_wall_s": round(forced_wall, 4),
         "serial_tests": serial.counters.deletability_tests,
-        "fanout_tests": fanned.counters.deletability_tests,
+        "fanout_tests": forced.counters.deletability_tests,
     }
     bench_record("schedule_fanout_workers2", entry)
     print()
     print(f"Schedule fan-out equivalence: {json.dumps(entry)}")
     assert entry["removed_identical"], "fanned-out schedule diverged from serial"
+    assert not entry["fanout_engaged"], (
+        "sub-crossover deployment should not have engaged the pool"
+    )
+    assert forced.counters.deletability_tests > serial.counters.deletability_tests, (
+        "forced run did not actually exercise the eager fan-out path"
+    )

@@ -1,0 +1,158 @@
+"""Deployment-scale benches for the sharded scheduler.
+
+Results land in ``BENCH_shard.json`` at the repo root.
+
+Two claims are on trial:
+
+* **Identity** — the sharded scheduler removes exactly the vertices the
+  unsharded engine removes, at deployment scale, whether the shards are
+  hosted inline or in worker processes.  This is asserted every run.
+* **Traffic locality** — cross-shard traffic is boundary-band rows, not
+  state broadcast: total halo rows stay well under one row per vertex
+  per round.  Also asserted every run.
+
+Wall times are *recorded*, not asserted: each shard recomputes eager
+verdicts for its whole owned region every round (the distributed
+protocol's own cost model, same as the fan-out path), so sharding wins
+wall-clock only when shards run on real parallel hardware.  The entry
+records ``cpu_count`` so the numbers are interpretable — the same
+convention as the ``sweep_workers4`` bench.
+
+``REPRO_BENCH_SCALE=smoke`` shrinks the deployment for CI;
+``REPRO_BENCH_SHARDS`` overrides the shard count.  The ``slow``-marked
+bench is the 100k-node fig2-style curve (``criterion=False`` skips the
+whole-graph GF(2) span, which is the scaling bottleneck — the schedule
+itself is local work).
+"""
+
+import json
+import math
+import os
+import random
+import time
+
+import pytest
+
+from repro.analysis.experiments import run_fig2_vertex_deletion
+from repro.core.scheduler import dcc_schedule
+from repro.network.topologies import geometric_graph
+from repro.shard import sharded_dcc_schedule
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "full") == "smoke"
+TAU = 4
+NODES = 1_500 if SMOKE else 10_000
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "2" if SMOKE else "4"))
+TARGET_DEGREE = 9.0
+
+
+def _deployment(nodes):
+    """A uniform geometric deployment with a protected boundary band."""
+    rng = random.Random(21)
+    side = math.sqrt(nodes * math.pi / TARGET_DEGREE)
+    positions = {
+        v: (rng.uniform(0, side), rng.uniform(0, side)) for v in range(nodes)
+    }
+    graph = geometric_graph(positions, 1.0)
+    band = 1.0
+    protected = {
+        v
+        for v, (x, y) in positions.items()
+        if x < band or y < band or x > side - band or y > side - band
+    }
+    return graph, protected
+
+
+def test_shard_schedule_scale(benchmark, shard_bench_record):
+    """10k-node serial vs sharded schedule: identity, traffic, walls."""
+
+    def measure():
+        graph, protected = _deployment(NODES)
+        start = time.perf_counter()
+        serial = dcc_schedule(
+            graph, protected, TAU, rng=random.Random(0), workers=1
+        )
+        serial_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        inline = sharded_dcc_schedule(
+            graph, protected, TAU, random.Random(0), shards=SHARDS, workers=1
+        )
+        inline_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        pooled = sharded_dcc_schedule(
+            graph,
+            protected,
+            TAU,
+            random.Random(0),
+            shards=SHARDS,
+            workers=SHARDS,
+        )
+        pooled_wall = time.perf_counter() - start
+        return serial, serial_wall, inline, inline_wall, pooled, pooled_wall
+
+    serial, serial_wall, inline, inline_wall, pooled, pooled_wall = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    stats = pooled.shard_stats
+    entry = {
+        "nodes": NODES,
+        "tau": TAU,
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "scale": "smoke" if SMOKE else "full",
+        "rounds": serial.rounds,
+        "deletions": len(serial.removed),
+        "removed_identical": inline.removed == serial.removed
+        and pooled.removed == serial.removed,
+        "serial_wall_s": round(serial_wall, 4),
+        "sharded_inline_wall_s": round(inline_wall, 4),
+        "sharded_pooled_wall_s": round(pooled_wall, 4),
+        "halo_rows_total": stats.halo_rows_total,
+        "halo_bytes_total": stats.halo_bytes_total,
+        "halo_radius": stats.halo_radius,
+        "owned_sizes": stats.owned_sizes,
+        "halo_sizes": stats.halo_sizes,
+        "serial_tests": serial.counters.deletability_tests,
+        "sharded_tests": pooled.counters.deletability_tests,
+    }
+    shard_bench_record("shard_schedule", entry)
+    print()
+    print(f"Sharded schedule at deployment scale: {json.dumps(entry)}")
+    assert entry["removed_identical"], "sharded schedule diverged from serial"
+    # Locality: halo traffic must stay far below one row per vertex per
+    # round (a state broadcast would be nodes * rounds rows).
+    assert stats.halo_rows_total < NODES * (serial.rounds + 1) / 4, entry
+
+
+@pytest.mark.slow
+def test_fig2_style_curve_at_100k(shard_bench_record):
+    """The 100k-node fig2-style run: completes, coverage preserved."""
+    count = 100_000
+    start = time.perf_counter()
+    result = run_fig2_vertex_deletion(
+        count=count,
+        degree=TARGET_DEGREE,
+        taus=(4,),
+        seed=0,
+        workers=1,
+        shards=SHARDS,
+        criterion=False,
+    )
+    wall = time.perf_counter() - start
+    tau = 4
+    entry = {
+        "nodes": count,
+        "degree": TARGET_DEGREE,
+        "tau": tau,
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "criterion": False,
+        "wall_s": round(wall, 1),
+        "total_nodes": result.total_nodes,
+        "protected_nodes": result.protected_nodes,
+        "active": result.active_by_tau[tau],
+    }
+    shard_bench_record("fig2_style_100k", entry)
+    print()
+    print(f"fig2-style curve at 100k nodes: {json.dumps(entry)}")
+    assert result.total_nodes >= count * 0.9  # giant component of 100k
+    assert 0 < result.active_by_tau[tau] < result.total_nodes

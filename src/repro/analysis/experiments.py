@@ -100,8 +100,10 @@ class Fig2Result:
     total_nodes: int
     protected_nodes: int
     active_by_tau: Dict[int, int]
-    initially_partitionable: Dict[int, bool]
-    finally_partitionable: Dict[int, bool]
+    #: per-tau criterion outcomes; ``None`` when the run skipped the
+    #: full-graph criterion check (``criterion=False`` at 100k+ scale).
+    initially_partitionable: Dict[int, Optional[bool]]
+    finally_partitionable: Dict[int, Optional[bool]]
 
     def preserved(self, tau: int) -> bool:
         """Theorem 5: scheduling never changes partitionability."""
@@ -126,15 +128,25 @@ class Fig2Result:
 
 
 def _fig2_cell(
-    count: int, degree: float, seed: int, tau: int
-) -> Tuple[int, int, bool, bool]:
+    count: int,
+    degree: float,
+    seed: int,
+    tau: int,
+    shards: Optional[int] = None,
+    criterion: bool = True,
+) -> Tuple[int, int, Optional[bool], Optional[bool]]:
     """One confine size of Figure 2, rebuilt from seeds (picklable)."""
     network, cycle, protected = _prepare_network(count, degree, seed)
-    initially = is_tau_partitionable(network.graph, [cycle], tau)
-    result = dcc_schedule(
-        network.graph, protected, tau, rng=random.Random(seed + tau)
+    initially = (
+        is_tau_partitionable(network.graph, [cycle], tau) if criterion else None
     )
-    finally_ = is_tau_partitionable(result.active, [cycle], tau)
+    result = dcc_schedule(
+        network.graph, protected, tau, rng=random.Random(seed + tau),
+        shards=shards,
+    )
+    finally_ = (
+        is_tau_partitionable(result.active, [cycle], tau) if criterion else None
+    )
     return tau, result.num_active, initially, finally_
 
 
@@ -144,6 +156,8 @@ def run_fig2_vertex_deletion(
     taus: Sequence[int] = (3, 4, 5, 6),
     seed: int = 0,
     workers: Optional[int] = 1,
+    shards: Optional[int] = None,
+    criterion: bool = True,
 ) -> Fig2Result:
     """One network thinned for each confine size, as in Figure 2 (b-e).
 
@@ -154,6 +168,13 @@ def run_fig2_vertex_deletion(
     through :func:`parallel_starmap`'s per-task capture, so run-reports
     are worker-count invariant (modulo wall-clock fields), not just the
     figure tables.
+
+    ``shards`` runs every cell's schedule over halo-exchange region
+    shards (vertex-identical results — see :mod:`repro.shard`);
+    ``criterion=False`` skips the full-graph partitionability checks,
+    which are the scaling bottleneck past ~10k nodes (the schedule
+    itself is local work; the criterion is a whole-graph GF(2) span).
+    The 100k fig2-style run uses both together.
     """
     from repro.obs.tracer import current_metrics, current_tracer
     from repro.parallel import parallel_starmap, resolve_workers
@@ -163,7 +184,7 @@ def run_fig2_vertex_deletion(
     if resolve_workers(workers) > 1 or observed:
         cells = parallel_starmap(
             _fig2_cell,
-            [(count, degree, seed, tau) for tau in taus],
+            [(count, degree, seed, tau, shards, criterion) for tau in taus],
             workers=workers,
         )
     else:
@@ -171,16 +192,23 @@ def run_fig2_vertex_deletion(
         # each cell rebuild it.
         cells = []
         for tau in taus:
-            initially_tau = is_tau_partitionable(network.graph, [cycle], tau)
+            initially_tau = (
+                is_tau_partitionable(network.graph, [cycle], tau)
+                if criterion
+                else None
+            )
             result = dcc_schedule(
-                network.graph, protected, tau, rng=random.Random(seed + tau)
+                network.graph, protected, tau, rng=random.Random(seed + tau),
+                shards=shards,
             )
             cells.append(
                 (
                     tau,
                     result.num_active,
                     initially_tau,
-                    is_tau_partitionable(result.active, [cycle], tau),
+                    is_tau_partitionable(result.active, [cycle], tau)
+                    if criterion
+                    else None,
                 )
             )
     active_by_tau: Dict[int, int] = {}

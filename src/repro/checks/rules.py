@@ -30,6 +30,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.checks.engine import Finding, ModuleContext, Rule
+from repro.checks.locality import _bound_node_names
 
 # ----------------------------------------------------------------------
 # Shared helpers
@@ -745,6 +746,97 @@ class SeedPlumbingRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REPRO113: shard-local code must stay inside its partition
+# ----------------------------------------------------------------------
+#: The module holding shard-*local* protocol logic.  Everything else in
+#: ``repro/shard/`` (plan, halo, scheduler) *is* the coordinator side.
+_SHARD_LOCAL_SUFFIX = "repro/shard/runtime.py"
+
+#: Coordinator-scope vocabulary.  A shard sees only its partition blob
+#: (owned + halo vertices and their induced edges); any of these names
+#: appearing in shard-local code means deployment-global state leaked
+#: across the halo-exchange boundary.
+_COORDINATOR_STATE_NAMES = {
+    "plan", "owner_of", "subscribers", "specs", "work",
+    "full_graph", "global_graph", "coordinator", "sim",
+}
+
+#: Modules a shard-local file must not import: they hold (or can reach)
+#: the whole deployment, which would let a shard compute verdicts from
+#: vertices outside its owned+halo range.
+_COORDINATOR_MODULE_PREFIXES = (
+    "repro.shard.plan",
+    "repro.shard.halo",
+    "repro.shard.scheduler",
+    "repro.core",
+    "repro.parallel",
+    "repro.analysis",
+)
+
+
+class ShardLocalityRule(Rule):
+    """Shard-local code reaching for coordinator-scope state.
+
+    The sharded scheduler's correctness argument (DESIGN.md section 9)
+    rests on each shard computing verdicts and MIS votes from its own
+    partition only — the owned region plus the ``ceil(tau/2)``-hop halo
+    the coordinator ships to it.  This is the same locality discipline
+    REPRO210 enforces for the per-node runtime, lifted to regions: the
+    rule reuses that flow machinery (:func:`repro.checks.locality.
+    _bound_node_names`) to tell a coordinator name that was *threaded
+    in* as a parameter or loop binding from one that leaked in as a
+    global, and reports accordingly.
+    """
+
+    rule_id = "REPRO113"
+    name = "shard-locality"
+    summary = "shard-local code reaches for coordinator-scope state"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.rel_path.endswith(_SHARD_LOCAL_SUFFIX):
+            return
+        bound = _bound_node_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            modules: List[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = [node.module]
+            for module in modules:
+                for prefix in _COORDINATOR_MODULE_PREFIXES:
+                    if module == prefix or module.startswith(prefix + "."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {module} in shard-local code; the "
+                            "coordinator side of the halo exchange must "
+                            "stay out of the shard's reach",
+                        )
+            if isinstance(node, ast.Attribute):
+                if node.attr in _COORDINATOR_STATE_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"attribute `.{node.attr}` is coordinator-scope "
+                        "state; a shard may only read its own partition "
+                        "(owned + halo rows shipped by the exchange)",
+                    )
+            elif isinstance(node, ast.Name) and node.id in _COORDINATOR_STATE_NAMES:
+                how = (
+                    "threaded in as a local binding"
+                    if node.id in bound
+                    else "read as a global"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"coordinator-scope name `{node.id}` {how} in "
+                    "shard-local code; verdicts must derive from the "
+                    "partition blob alone",
+                )
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRngRule(),
     SetIterationOrderRule(),
@@ -754,6 +846,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     FloatMergeRule(),
     SeedPlumbingRule(),
+    ShardLocalityRule(),
 )
 
 

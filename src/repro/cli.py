@@ -67,7 +67,10 @@ def _workers(args: argparse.Namespace) -> int:
 
 def _cmd_fig2(args: argparse.Namespace) -> str:
     result = run_fig2_vertex_deletion(
-        workers=_workers(args), **_overrides(args, "nodes", "degree", "seed")
+        workers=_workers(args),
+        shards=args.shards,
+        criterion=not args.no_criterion,
+        **_overrides(args, "nodes", "degree", "seed"),
     )
     return result.format_table()
 
@@ -145,6 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
             "process-pool size for independent runs/cells "
             "(default: auto-detect; 1 = serial; results are identical "
             "at any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "partition each schedule into this many halo-exchange region "
+            "shards (fig2 only; results are vertex-identical to the "
+            "unsharded run — see DESIGN.md section 9)"
+        ),
+    )
+    parser.add_argument(
+        "--no-criterion",
+        action="store_true",
+        help=(
+            "skip the full-graph tau-partitionability checks (fig2 only; "
+            "they are the scaling bottleneck past ~10k nodes)"
         ),
     )
     parser.add_argument(

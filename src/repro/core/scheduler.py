@@ -40,7 +40,11 @@ from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.vpt import deletion_radius
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import current_metrics, current_tracer
-from repro.parallel.runner import ScheduleFanout, resolve_workers
+from repro.parallel.runner import (
+    ScheduleFanout,
+    fanout_worthwhile,
+    resolve_workers,
+)
 from repro.topology import LocalTopologyEngine, TopologyCounters
 
 
@@ -55,6 +59,9 @@ class ScheduleResult:
     deletions_per_round: List[int] = field(default_factory=list)
     deletability_tests: int = 0
     counters: Optional[TopologyCounters] = None
+    #: sharding account (:class:`repro.shard.scheduler.ShardStats`),
+    #: ``None`` for unsharded runs.
+    shard_stats: Optional[object] = None
 
     @property
     def coverage_set(self) -> Set[int]:
@@ -110,6 +117,7 @@ def dcc_schedule(
     workers: Optional[int] = 1,
     tracer=None,
     metrics=None,
+    shards: Optional[int] = None,
 ) -> ScheduleResult:
     """Compute a sparse tau-confine coverage set by maximal vertex deletion.
 
@@ -132,8 +140,17 @@ def dcc_schedule(
     are pure functions of the current graph, so the schedule is
     bit-identical to the serial run at any worker count; the fan-out
     tests every candidate eagerly (trading the serial path's lazy
-    blocked-candidate skips for concurrency).  ``sequential`` mode takes
-    one verdict per round and always runs serially.
+    blocked-candidate skips for concurrency).  Jobs below the
+    :func:`repro.parallel.runner.fanout_crossover` size never fan out —
+    the pool would cost more than the verdicts.  ``sequential`` mode
+    takes one verdict per round and always runs serially.
+
+    ``shards`` partitions the deployment into halo-exchange region
+    shards (see :mod:`repro.shard`) and runs the round-synchronous
+    sharded coordinator instead of the monolithic loop; the schedule is
+    vertex-identical either way.  Sharded runs require ``parallel`` mode
+    and no prebuilt ``engine``; ``workers`` then counts persistent shard
+    workers (``1`` hosts every shard in-process).
 
     ``tracer`` / ``metrics`` default to the ambient observers
     (:func:`repro.obs.tracer.observe`); a run with both disabled pays
@@ -147,6 +164,23 @@ def dcc_schedule(
     rng = rng if rng is not None else random.Random(seed)
     tracer = tracer if tracer is not None else current_tracer()
     metrics = metrics if metrics is not None else current_metrics()
+    if shards is not None:
+        if mode != "parallel":
+            raise ValueError("sharded scheduling requires parallel mode")
+        if engine is not None:
+            raise ValueError("sharded scheduling cannot reuse a prebuilt engine")
+        from repro.shard.scheduler import sharded_dcc_schedule
+
+        return sharded_dcc_schedule(
+            graph,
+            protected,
+            tau,
+            rng,
+            shards,
+            workers=workers if workers is not None else 0,
+            tracer=tracer,
+            metrics=metrics,
+        )
     if engine is None:
         engine = LocalTopologyEngine(
             graph.copy(), tau, tracer=tracer, metrics=metrics
@@ -163,7 +197,10 @@ def dcc_schedule(
     fanout = None
     if mode == "parallel":
         pool_size = resolve_workers(workers)
-        if pool_size > 1:
+        # Crossover guard: on small graphs the pool's startup + per-round
+        # IPC dwarfs the verdicts, so the request silently runs serial
+        # (results are identical either way).
+        if pool_size > 1 and fanout_worthwhile(len(work), pool_size):
             fanout = ScheduleFanout(work, tau, pool_size, capture=tracer.enabled)
     try:
         return _dcc_schedule_rounds(

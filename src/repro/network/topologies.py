@@ -15,7 +15,60 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.network.graph import NetworkGraph
-from repro.network.node import Position
+from repro.network.node import Position, distance
+
+
+def grid_neighbor_pairs(
+    positions: Dict[int, Position], radius: float
+) -> List[Tuple[int, int]]:
+    """All unordered node pairs within ``radius``, sorted.
+
+    A uniform grid spatial index with ``radius``-sized cells: each node
+    is tested only against nodes in its own and the eight adjacent
+    cells, so the pair scan is near linear in the node count for
+    bounded-density deployments (the O(n^2) all-pairs loop caps out
+    around 10k nodes; this constructs 100k+).  The returned list is
+    sorted ``(u, v)`` with ``u < v`` — independent of bucket layout, so
+    consumers iterate identically to an all-pairs scan.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for node, (x, y) in positions.items():
+        buckets.setdefault((int(x // radius), int(y // radius)), []).append(node)
+    pairs: List[Tuple[int, int]] = []
+    for (cx, cy), nodes in buckets.items():
+        neighbor_cells = [
+            buckets.get((cx + dx, cy + dy), [])
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+        ]
+        for u in nodes:
+            pu = positions[u]
+            for cell_nodes in neighbor_cells:
+                for v in cell_nodes:
+                    if v <= u:
+                        continue
+                    if distance(pu, positions[v]) <= radius:
+                        pairs.append((u, v))
+    pairs.sort()
+    return pairs
+
+
+def geometric_graph(
+    positions: Dict[int, Position], radius: float
+) -> NetworkGraph:
+    """The unit-disk connectivity graph of a positioned deployment.
+
+    The scale-friendly constructor for deterministic (UDG) geometric
+    graphs — stochastic radio models go through
+    :meth:`repro.network.radio.RadioModel.build_graph`, whose rng
+    consumption order is part of the seeded contract.
+    """
+    graph = NetworkGraph(positions.keys())
+    for u, v in grid_neighbor_pairs(positions, radius):
+        graph.add_edge(u, v)
+    return graph
 
 
 @dataclass

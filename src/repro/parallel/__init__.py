@@ -6,8 +6,11 @@ submission/consumption, worker-local warm engines, counter merging).
 
 from repro.parallel.runner import (
     ScheduleFanout,
+    ShardWorkerPool,
     chunk_evenly,
     compact_graph_blob,
+    fanout_crossover,
+    fanout_worthwhile,
     graph_from_blob,
     parallel_starmap,
     resolve_workers,
@@ -15,8 +18,11 @@ from repro.parallel.runner import (
 
 __all__ = [
     "ScheduleFanout",
+    "ShardWorkerPool",
     "chunk_evenly",
     "compact_graph_blob",
+    "fanout_crossover",
+    "fanout_worthwhile",
     "graph_from_blob",
     "parallel_starmap",
     "resolve_workers",

@@ -41,8 +41,10 @@ and figure rows are reproduced bit-for-bit at fixed seeds.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
     Any,
@@ -65,6 +67,37 @@ from repro.obs.tracer import (
     observe,
 )
 from repro.topology import TopologyCounters
+
+
+#: Below this many graph vertices, a per-round verdict fan-out costs more
+#: in process startup, graph shipping and per-round IPC than the verdicts
+#: themselves (BENCH_kernel.json: 250-node fig2 at workers=2 ran 13x
+#: slower than serial).  Calibrated well above the measured break-even so
+#: borderline jobs stay on the always-safe serial path.
+SCHEDULE_FANOUT_MIN_NODES = 2000
+
+
+def fanout_crossover() -> int:
+    """The fan-out crossover in graph vertices.
+
+    ``REPRO_FANOUT_MIN_NODES`` overrides the built-in default — tests
+    set it to ``0`` to force the pool on small graphs, benchmarks record
+    the effective value next to their timings.
+    """
+    value = os.environ.get("REPRO_FANOUT_MIN_NODES")
+    if value is None:
+        return SCHEDULE_FANOUT_MIN_NODES
+    return int(value)
+
+
+def fanout_worthwhile(job_size: int, workers: Optional[int]) -> bool:
+    """Should a schedule of ``job_size`` vertices fan out at all?
+
+    The crossover guard for :class:`ScheduleFanout`: requesting workers
+    on a small job silently runs serial (identical results either way —
+    the fan-out only moves where verdicts are computed).
+    """
+    return resolve_workers(workers) > 1 and job_size >= fanout_crossover()
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -314,6 +347,209 @@ class ScheduleFanout:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "ScheduleFanout":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded scheduling: persistent warm workers, one partition per shard
+# ----------------------------------------------------------------------
+def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
+    """One worker process hosting a fixed set of :class:`LocalShard`\\ s.
+
+    ``inits`` is ``[(shard index, partition blob), ...]``; the partitions
+    (CSR mirrors, verdict caches) live for the whole schedule and the
+    per-round messages carry only rows — the persistent-warm-worker
+    replacement for per-call graph shipping.
+    """
+    from repro.shard.runtime import LocalShard
+
+    hosted = {
+        index: LocalShard(index, tau, blob, capture=capture)
+        for index, blob in inits
+    }
+    indices = sorted(hosted)
+    try:
+        while True:
+            kind, payload = conn.recv()
+            if kind == "stop":
+                break
+            try:
+                out = None
+                if kind == "begin":
+                    out = {
+                        index: hosted[index].begin_round(*payload[index])
+                        for index in indices
+                    }
+                elif kind == "verdicts":
+                    for index in indices:
+                        hosted[index].absorb_verdicts(payload.get(index, []))
+                elif kind == "subround":
+                    out = {
+                        index: hosted[index].mis_subround()
+                        for index in indices
+                    }
+                elif kind == "status":
+                    for index in indices:
+                        rows = payload.get(index)
+                        if rows:
+                            hosted[index].apply_status(rows)
+                elif kind == "apply":
+                    for index in indices:
+                        batch = payload.get(index)
+                        if batch:
+                            hosted[index].apply_deletions(batch)
+                elif kind == "finish":
+                    out = {
+                        index: (
+                            hosted[index].counters_snapshot(),
+                            hosted[index].spans_payload(),
+                        )
+                        for index in indices
+                    }
+                else:
+                    raise ValueError(f"unknown shard message {kind!r}")
+                conn.send(("ok", out))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except EOFError:  # coordinator went away; nothing left to serve
+        pass
+    finally:
+        conn.close()
+
+
+class ShardWorkerPool:
+    """Persistent warm workers for sharded scheduling.
+
+    Unlike :class:`ScheduleFanout` (fresh graph blob per pool, deletion
+    log replayed per call), each worker here *owns* its shards'
+    partitions for the lifetime of the schedule: the blobs ship once at
+    startup and every subsequent message is boundary-band rows.  Shards
+    are assigned to workers contiguously by index
+    (:func:`chunk_evenly`), and all merge points key on shard index, so
+    results are identical at any worker count — including the in-process
+    backend at ``workers=1``.
+    """
+
+    def __init__(
+        self,
+        blobs: Sequence[bytes],
+        tau: int,
+        workers: int,
+        capture: bool = False,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("ShardWorkerPool needs at least 2 workers")
+        inits = list(enumerate(blobs))
+        assignments = chunk_evenly(inits, workers)
+        self._assigned: List[List[int]] = [
+            [index for index, __ in chunk] for chunk in assignments
+        ]
+        self._procs: List[multiprocessing.Process] = []
+        self._conns = []
+        for chunk in assignments:
+            parent_conn, child_conn = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_shard_worker_main,
+                args=(child_conn, list(chunk), tau, capture),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _roundtrip(self, kind: str, payloads: List[Any]) -> List[Any]:
+        for conn, payload in zip(self._conns, payloads):
+            conn.send((kind, payload))
+        outs: List[Any] = []
+        failure: Optional[str] = None
+        for conn in self._conns:
+            status, out = conn.recv()
+            if status == "error" and failure is None:
+                failure = out
+            outs.append(out)
+        if failure is not None:
+            raise RuntimeError(f"shard worker failed:\n{failure}")
+        return outs
+
+    def _merged(self, kind: str, payloads: List[Any]) -> Dict[int, Any]:
+        merged: Dict[int, Any] = {}
+        for out in self._roundtrip(kind, payloads):
+            merged.update(out)
+        return merged
+
+    def begin_round(
+        self, owned_rows: List[list], halo_rows: List[list]
+    ) -> Dict[int, list]:
+        return self._merged(
+            "begin",
+            [
+                {
+                    index: (owned_rows[index], halo_rows[index])
+                    for index in assigned
+                }
+                for assigned in self._assigned
+            ],
+        )
+
+    def absorb_verdicts(self, deliveries: Dict[int, list]) -> None:
+        self._roundtrip(
+            "verdicts",
+            [
+                {index: deliveries.get(index, []) for index in assigned}
+                for assigned in self._assigned
+            ],
+        )
+
+    def mis_subround(self) -> Dict[int, Any]:
+        return self._merged("subround", [None] * len(self._conns))
+
+    def apply_status(self, deliveries: Dict[int, list]) -> None:
+        self._roundtrip(
+            "status",
+            [
+                {
+                    index: deliveries[index]
+                    for index in assigned
+                    if index in deliveries
+                }
+                for assigned in self._assigned
+            ],
+        )
+
+    def apply_deletions(self, batches: Dict[int, List[int]]) -> None:
+        self._roundtrip(
+            "apply",
+            [
+                {
+                    index: batches[index]
+                    for index in assigned
+                    if batches.get(index)
+                }
+                for assigned in self._assigned
+            ],
+        )
+
+    def finish(self) -> Dict[int, Any]:
+        return self._merged("finish", [None] * len(self._conns))
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive teardown
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:

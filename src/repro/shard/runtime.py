@@ -1,0 +1,198 @@
+"""Shard-local state: one partition engine plus MIS round bookkeeping.
+
+This module is the *local* side of the shard abstraction, the analogue
+of a per-region process on real hardware.  A :class:`LocalShard` is
+constructed from a partition blob (its own owned/halo membership and
+induced edges — never the plan or the global graph) and afterwards
+communicates exclusively through rows handed to / returned from its
+methods.  The REPRO113 lint rule enforces that discipline statically
+(no reads of coordinator-scope state), and the partition engine's
+``owned`` guard enforces the verdict half dynamically: asking for a
+deletability verdict outside the owned region raises
+:class:`~repro.topology.OwnedRegionError`.
+
+The MIS the shards compute together is the *local-minimum fixpoint*
+formulation of the scheduler's greedy draw: a candidate wins once every
+smaller-priority competitor within the separation radius has lost, and
+loses once any such competitor has won.  Decisions are taken against a
+snapshot per sub-round and applied at the barrier, so the fixpoint —
+and therefore the deletion schedule — is vertex-identical to the
+unsharded engine's at the same priority draw.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.graph import NetworkGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.topology import LocalTopologyEngine
+
+#: MIS statuses; plain ints so status rows pickle small.
+UNDECIDED, WINNER, LOSER = 0, 1, 2
+
+StatusRow = Tuple[int, int]  # (vertex, status)
+VerdictRow = Tuple[int, bool]  # (vertex, deletable)
+PriorityRow = Tuple[int, int]  # (vertex, priority index)
+
+
+class LocalShard:
+    """One shard's partition engine and per-round MIS state."""
+
+    def __init__(
+        self, index: int, tau: int, blob: bytes, capture: bool = False
+    ) -> None:
+        owned, halo, boundary, edges = pickle.loads(blob)
+        partition = NetworkGraph(owned + halo)
+        for u, v in edges:
+            partition.add_edge(u, v)
+        self.index = index
+        self.owned = tuple(owned)
+        self.halo = tuple(halo)
+        # The CSR mirror assigns slots in sorted-id order, so owned and
+        # halo slots interleave; expose them as rank-derived sets.
+        rank = {v: i for i, v in enumerate(sorted(owned + halo))}
+        self.owned_slots = frozenset(rank[v] for v in owned)
+        self.halo_slots = frozenset(rank[v] for v in halo)
+        self._boundary = frozenset(boundary)
+        self.tracer = Tracer() if capture else NULL_TRACER
+        self.engine = LocalTopologyEngine(
+            partition,
+            tau,
+            owned=frozenset(owned),
+            tracer=self.tracer if capture else None,
+        )
+        self._radius = self.engine.radius
+        self._prio: Dict[int, int] = {}
+        self._status: Dict[int, int] = {}
+        self._undecided: List[int] = []
+        self._competitors: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Round protocol (driven by the coordinator / worker loop)
+    # ------------------------------------------------------------------
+    def begin_round(
+        self,
+        owned_rows: Sequence[PriorityRow],
+        halo_rows: Sequence[PriorityRow],
+    ) -> List[VerdictRow]:
+        """Start a round: eager verdicts for the owned candidates.
+
+        ``owned_rows`` / ``halo_rows`` carry the global priority draw
+        restricted to this shard's candidates (owned region and halo
+        band).  Returns the boundary-band verdict rows to export; the
+        interior verdicts never leave the shard.
+        """
+        self._prio = {}
+        self._status = {}
+        self._undecided = []
+        self._competitors = {}
+        for v, priority in halo_rows:
+            self._prio[v] = priority
+        exported: List[VerdictRow] = []
+        with self.tracer.trace(
+            "shard.verdicts", shard=self.index, candidates=len(owned_rows)
+        ):
+            for v, priority in owned_rows:
+                self._prio[v] = priority
+                verdict = self.engine.deletable(v)
+                if verdict:
+                    self._status[v] = UNDECIDED
+                    self._undecided.append(v)
+                if v in self._boundary:
+                    exported.append((v, verdict))
+        return exported
+
+    def absorb_verdicts(self, rows: Sequence[VerdictRow]) -> None:
+        """Record halo candidates' verdicts, then freeze competitor lists.
+
+        A competitor of an owned candidate ``v`` is any deletable
+        candidate with smaller priority within the separation radius;
+        by the halo-sufficiency invariant every such vertex is inside
+        the partition, so the lists are complete.
+        """
+        for v, verdict in rows:
+            if verdict:
+                self._status[v] = UNDECIDED
+        status = self._status
+        prio = self._prio
+        for v in self._undecided:
+            mine = prio[v]
+            self._competitors[v] = [
+                u
+                for u in sorted(self.engine.ball(v, self._radius))
+                if u != v and u in status and prio[u] < mine
+            ]
+
+    def mis_subround(self) -> Tuple[List[int], List[StatusRow], int]:
+        """One snapshot-semantics sub-round of the local-minimum MIS.
+
+        Against the statuses frozen at entry: a candidate loses if any
+        smaller-priority competitor already won, stays undecided while
+        one is still open, and wins once all of them have lost.
+        Decisions apply locally at exit (the barrier); foreign
+        boundary-band decisions arrive via :meth:`apply_status` before
+        the next sub-round.  Returns ``(winners, exported status rows,
+        undecided remaining)``.
+        """
+        status = self._status
+        decided: List[StatusRow] = []
+        for v in self._undecided:
+            stay = False
+            outcome = WINNER
+            for u in self._competitors[v]:
+                other = status[u]
+                if other == WINNER:
+                    outcome = LOSER
+                    stay = False
+                    break
+                if other == UNDECIDED:
+                    stay = True
+            if not stay:
+                decided.append((v, outcome))
+        winners: List[int] = []
+        exported: List[StatusRow] = []
+        if decided:
+            decided_set = {v for v, _ in decided}
+            self._undecided = [
+                v for v in self._undecided if v not in decided_set
+            ]
+            for v, outcome in decided:
+                status[v] = outcome
+                if outcome == WINNER:
+                    winners.append(v)
+                if v in self._boundary:
+                    exported.append((v, outcome))
+        return winners, exported, len(self._undecided)
+
+    def apply_status(self, rows: Sequence[StatusRow]) -> None:
+        """Apply foreign boundary-band decisions (the sub-round barrier)."""
+        for v, outcome in rows:
+            self._status[v] = outcome
+
+    def apply_deletions(self, batch: Sequence[int]) -> None:
+        """Delete the round's committed batch members held locally.
+
+        ``batch`` preserves the global deletion order restricted to this
+        partition, so the engine's dirty-region invalidation sees the
+        same mutation sequence the unsharded engine would.
+        """
+        with self.tracer.trace(
+            "shard.apply", shard=self.index, deletions=len(batch)
+        ):
+            for v in batch:
+                self.engine.delete_vertex(v)
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting
+    # ------------------------------------------------------------------
+    def counters_snapshot(self) -> Dict[int, int]:
+        """The partition engine's counters as a plain dict."""
+        return self.engine.counters.as_dict()
+
+    def spans_payload(self):
+        """Captured spans (``None`` when capture was off)."""
+        if self.tracer is NULL_TRACER:
+            return None
+        return self.tracer.export_spans()

@@ -13,6 +13,7 @@ invariant and the instrumentation counters.
 from repro.topology.counters import TopologyCounters
 from repro.topology.engine import (
     LocalTopologyEngine,
+    OwnedRegionError,
     neighborhood_radius,
     punctured_deletable,
 )
@@ -20,6 +21,7 @@ from repro.topology.signature import SpanMemo, SubgraphSignature, graph_signatur
 
 __all__ = [
     "LocalTopologyEngine",
+    "OwnedRegionError",
     "SpanMemo",
     "SubgraphSignature",
     "TopologyCounters",

@@ -49,6 +49,18 @@ from repro.topology.signature import SpanMemo
 BallKey = Tuple[int, int]  # (center, radius)
 
 
+class OwnedRegionError(RuntimeError):
+    """A verdict was requested outside an engine's owned region.
+
+    Raised by engines constructed with ``owned=...`` (the shard runtime):
+    a shard may *traverse* its halo band freely — balls and separation
+    probes legitimately reach into it — but a deletability verdict for a
+    vertex it does not own would be computed on a partition that is not
+    guaranteed to contain that vertex's full k-ball, so it must come from
+    the owner via the halo exchange instead.
+    """
+
+
 def neighborhood_radius(tau: int) -> int:
     """Definition 5's ``k = ceil(tau / 2)``."""
     if tau < 3:
@@ -88,6 +100,11 @@ class LocalTopologyEngine:
         scan on every fresh verdict and almost never hits, because the
         per-vertex verdict cache already absorbs exact repeats.  Pass
         explicit values to override either default.
+    owned:
+        Optional owned-region restriction (the shard runtime).  When
+        set, :meth:`deletable` refuses vertices outside the set with
+        :class:`OwnedRegionError`; traversal queries (balls, separation
+        probes) stay unrestricted, mirroring the halo-band contract.
     """
 
     def __init__(
@@ -103,9 +120,11 @@ class LocalTopologyEngine:
         use_kernel: bool = True,
         tracer=None,
         metrics=None,
+        owned: Optional[FrozenSet[int]] = None,
     ) -> None:
         self.graph = graph
         self.tau = tau
+        self.owned = owned
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.radius = neighborhood_radius(tau)
@@ -318,6 +337,10 @@ class LocalTopologyEngine:
 
     def deletable(self, v: int) -> bool:
         """Definition 5: is ``v`` void-preserving deletable (cached)?"""
+        if self.owned is not None and v not in self.owned:
+            raise OwnedRegionError(
+                f"verdict requested for {v} outside the engine's owned region"
+            )
         self._sync()
         self.counters.deletability_queries += 1
         cached = self._verdicts.get(v)
@@ -452,6 +475,7 @@ class LocalTopologyEngine:
             use_kernel=self.use_kernel,
             tracer=self.tracer,
             metrics=self.metrics,
+            owned=self.owned,
         )
         clone._balls = dict(self._balls)
         clone._owners = {m: set(keys) for m, keys in self._owners.items()}

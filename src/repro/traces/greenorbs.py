@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.network.deployment import Network, Rectangle
 from repro.network.graph import NetworkGraph
 from repro.network.node import Position, distance
+from repro.network.topologies import grid_neighbor_pairs
 from repro.traces.rssi import (
     RssiRecord,
     RssiTrace,
@@ -135,13 +136,15 @@ def generate_greenorbs_trace(
             pair_shadow[key] = value
         return value
 
+    # Grid-bucketed range search; appending both directions of the
+    # sorted pair list leaves each adjacency list in ascending order —
+    # exactly the order the old all-pairs scan produced, so the rng
+    # draws below consume the stream identically.
     nodes = sorted(positions)
     neighbors_in_range: Dict[int, List[int]] = {v: [] for v in nodes}
-    for i, u in enumerate(nodes):
-        for v in nodes[i + 1:]:
-            if distance(positions[u], positions[v]) <= config.max_range:
-                neighbors_in_range[u].append(v)
-                neighbors_in_range[v].append(u)
+    for u, v in grid_neighbor_pairs(positions, config.max_range):
+        neighbors_in_range[u].append(v)
+        neighbors_in_range[v].append(u)
 
     trace = RssiTrace()
     for __ in range(config.epochs):

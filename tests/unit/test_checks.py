@@ -355,6 +355,87 @@ class TestSmallRules:
 
 
 # ----------------------------------------------------------------------
+# REPRO113: shard locality
+# ----------------------------------------------------------------------
+_SHARD_RUNTIME_REL = "src/repro/shard/runtime.py"
+
+
+class TestShardLocality:
+    def test_global_coordinator_name_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def verdicts(rows):
+                return [full_graph.degree(v) for v, _ in rows]
+            """,
+            rel=_SHARD_RUNTIME_REL,
+        )
+        assert rules_of(findings) == ["REPRO113"]
+        assert "read as a global" in findings[0].message
+
+    def test_threaded_in_plan_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def begin(plan, rows):
+                return plan
+            """,
+            rel=_SHARD_RUNTIME_REL,
+        )
+        assert rules_of(findings) == ["REPRO113"]
+        assert "local binding" in findings[0].message
+
+    def test_coordinator_attribute_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Shard:
+                def route(self):
+                    return self.subscribers
+            """,
+            rel=_SHARD_RUNTIME_REL,
+        )
+        assert rules_of(findings) == ["REPRO113"]
+
+    def test_coordinator_import_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.shard.plan import build_shard_plan\n",
+            rel=_SHARD_RUNTIME_REL,
+        )
+        assert rules_of(findings) == ["REPRO113"]
+
+    def test_partition_vocabulary_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Shard:
+                def verdicts(self, rows):
+                    return [self.partition.degree(v) for v, _ in rows]
+            """,
+            rel=_SHARD_RUNTIME_REL,
+        )
+        assert not findings
+
+    def test_rule_only_fires_on_shard_runtime(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def route(plan):\n    return plan\n",
+            rel="src/repro/shard/scheduler.py",
+        )
+        assert not findings
+
+    def test_real_shard_runtime_is_clean(self):
+        import repro.shard.runtime as runtime_module
+
+        source = Path(runtime_module.__file__)
+        findings, _ = lint_paths(
+            [source], all_rules(), root=source.parents[3]
+        )
+        assert not [f for f in findings if f.rule == "REPRO113"]
+
+
+# ----------------------------------------------------------------------
 # Engine mechanics: baseline, reporters, syntax errors
 # ----------------------------------------------------------------------
 class TestEngine:

@@ -15,10 +15,13 @@ from repro.network.deployment import Rectangle, build_network
 from repro.parallel import (
     chunk_evenly,
     compact_graph_blob,
+    fanout_crossover,
+    fanout_worthwhile,
     graph_from_blob,
     parallel_starmap,
     resolve_workers,
 )
+from repro.parallel.runner import SCHEDULE_FANOUT_MIN_NODES
 
 
 def test_resolve_workers_contract():
@@ -93,7 +96,21 @@ def test_compact_graph_blob_roundtrip():
     assert sorted(clone.edges()) == sorted(net.graph.edges())
 
 
-def test_dcc_schedule_fanout_matches_serial():
+def test_fanout_crossover_contract(monkeypatch):
+    monkeypatch.delenv("REPRO_FANOUT_MIN_NODES", raising=False)
+    assert fanout_crossover() == SCHEDULE_FANOUT_MIN_NODES
+    # Small jobs never fan out; the env knob overrides for tests/benches.
+    assert not fanout_worthwhile(SCHEDULE_FANOUT_MIN_NODES - 1, 2)
+    assert fanout_worthwhile(SCHEDULE_FANOUT_MIN_NODES, 2)
+    assert not fanout_worthwhile(10**6, 1)
+    monkeypatch.setenv("REPRO_FANOUT_MIN_NODES", "0")
+    assert fanout_crossover() == 0
+    assert fanout_worthwhile(1, 2)
+
+
+def test_dcc_schedule_fanout_matches_serial(monkeypatch):
+    # Force the pool below the crossover so the test exercises it.
+    monkeypatch.setenv("REPRO_FANOUT_MIN_NODES", "0")
     net = build_network(60, Rectangle(0, 0, 3.6, 3.6), 1.0, 1.0, seed=7)
     protected = set(net.boundary_nodes)
     serial = dcc_schedule(net.graph, protected, 4, rng=random.Random(0), workers=1)
@@ -105,5 +122,19 @@ def test_dcc_schedule_fanout_matches_serial():
     # serial path's verdict work — and its counters must account for it.
     assert (
         fanned.counters.deletability_tests
-        >= serial.counters.deletability_tests
+        > serial.counters.deletability_tests
+    )
+
+
+def test_small_jobs_skip_the_pool_but_match():
+    # Below the crossover a workers=2 request silently runs serial:
+    # identical schedule, identical (lazy) verdict accounting.
+    net = build_network(60, Rectangle(0, 0, 3.6, 3.6), 1.0, 1.0, seed=7)
+    protected = set(net.boundary_nodes)
+    serial = dcc_schedule(net.graph, protected, 4, rng=random.Random(0), workers=1)
+    gated = dcc_schedule(net.graph, protected, 4, rng=random.Random(0), workers=2)
+    assert gated.removed == serial.removed
+    assert (
+        gated.counters.deletability_tests
+        == serial.counters.deletability_tests
     )

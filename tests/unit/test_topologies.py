@@ -7,6 +7,8 @@ from repro.homology.simplicial import enumerate_triangles
 from repro.network.topologies import (
     annulus_network,
     cycle_graph,
+    geometric_graph,
+    grid_neighbor_pairs,
     mobius_band_network,
     triangulated_grid,
 )
@@ -114,3 +116,53 @@ class TestSimpleShapes:
         assert wheel8.degree(8) == 8
         # rim vertices: two rim neighbours plus the hub
         assert all(wheel8.degree(v) == 3 for v in range(8))
+
+
+class TestGridNeighborPairs:
+    def _positions(self, seed, count, side):
+        import random
+
+        rng = random.Random(seed)
+        return {
+            v: (rng.uniform(0, side), rng.uniform(0, side))
+            for v in range(count)
+        }
+
+    def test_matches_all_pairs_scan(self):
+        from repro.network.node import distance
+
+        positions = self._positions(3, 200, 30.0)
+        radius = 4.0
+        brute = sorted(
+            (u, v)
+            for u in positions
+            for v in positions
+            if u < v and distance(positions[u], positions[v]) <= radius
+        )
+        assert grid_neighbor_pairs(positions, radius) == brute
+        assert brute  # the instance actually exercises the index
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            grid_neighbor_pairs({0: (0.0, 0.0)}, 0.0)
+
+    def test_geometric_graph_edges(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (5.0, 0.0)}
+        graph = geometric_graph(positions, 1.5)
+        assert sorted(graph.vertices()) == [0, 1, 2]
+        assert sorted(graph.edges()) == [(0, 1)]
+
+    def test_scales_to_twenty_thousand_nodes(self):
+        # The point of the spatial index: an all-pairs scan at this size
+        # is ~200M distance tests; the grid finishes in about a second.
+        positions = self._positions(11, 20_000, 1000.0)
+        graph = geometric_graph(positions, 10.0)
+        assert len(graph) == 20_000
+        assert graph.num_edges() > 0
+
+    @pytest.mark.slow
+    def test_scales_to_one_hundred_thousand_nodes(self):
+        positions = self._positions(13, 100_000, 2000.0)
+        graph = geometric_graph(positions, 10.0)
+        assert len(graph) == 100_000
+        assert graph.num_edges() > 0
