@@ -10,13 +10,18 @@ Two claims are on trial:
 * **Traffic locality** — cross-shard traffic is boundary-band rows, not
   state broadcast: total halo rows stay well under one row per vertex
   per round.  Also asserted every run.
+* **Zero redundant verdicts** — the wave MIS tests a boundary candidate
+  in exactly one shard, so the sharded run's fresh deletability tests
+  equal the serial run's (``redundant_tests`` ~ 0).  Asserted every
+  run; the eager per-round verdict sweep this replaced recomputed every
+  owned candidate per round (~4.8x the serial test count at 10k).
 
-Wall times are *recorded*, not asserted: each shard recomputes eager
-verdicts for its whole owned region every round (the distributed
-protocol's own cost model, same as the fan-out path), so sharding wins
-wall-clock only when shards run on real parallel hardware.  The entry
-records ``cpu_count`` so the numbers are interpretable — the same
-convention as the ``sweep_workers4`` bench.
+Wall times are *recorded*, not asserted: the per-sub-round barriers and
+per-worker IPC are real costs, so sharding wins wall-clock only when
+shards run on real parallel hardware.  The entry records ``cpu_count``
+— and the ``REPRO_BATCH_VERDICTS`` / ``REPRO_SHM`` knob states — so the
+numbers are interpretable; the same convention as the
+``sweep_workers4`` bench.
 
 ``REPRO_BENCH_SCALE=smoke`` shrinks the deployment for CI;
 ``REPRO_BENCH_SHARDS`` overrides the shard count.  The ``slow``-marked
@@ -35,7 +40,9 @@ import pytest
 
 from repro.analysis.experiments import run_fig2_vertex_deletion
 from repro.core.scheduler import dcc_schedule
+from repro.cycles.batch import batch_verdicts_enabled
 from repro.network.topologies import geometric_graph
+from repro.parallel.shm import shm_enabled
 from repro.shard import sharded_dcc_schedule
 
 SMOKE = os.environ.get("REPRO_BENCH_SCALE", "full") == "smoke"
@@ -113,6 +120,10 @@ def test_shard_schedule_scale(benchmark, shard_bench_record):
         "halo_sizes": stats.halo_sizes,
         "serial_tests": serial.counters.deletability_tests,
         "sharded_tests": pooled.counters.deletability_tests,
+        "redundant_tests": pooled.counters.deletability_tests
+        - serial.counters.deletability_tests,
+        "batch_verdicts": batch_verdicts_enabled(),
+        "shm": shm_enabled(),
     }
     shard_bench_record("shard_schedule", entry)
     print()
@@ -121,6 +132,12 @@ def test_shard_schedule_scale(benchmark, shard_bench_record):
     # Locality: halo traffic must stay far below one row per vertex per
     # round (a state broadcast would be nodes * rounds rows).
     assert stats.halo_rows_total < NODES * (serial.rounds + 1) / 4, entry
+    # The wave MIS tests each boundary candidate in exactly one shard:
+    # redundant tests are ~0 (a small tolerance absorbs verdict-cache
+    # asymmetries between the global and partition engines).
+    assert abs(entry["redundant_tests"]) <= max(
+        4, entry["serial_tests"] // 200
+    ), entry
 
 
 @pytest.mark.slow

@@ -92,12 +92,12 @@ _GLOBAL_RANDOM_FNS = {
 
 
 class UnseededRngRule(Rule):
-    """``random.Random()`` / global-state ``random.*`` / ``np.random.*``.
+    """``random.Random()`` without a seed / global-state ``random.*``.
 
     Library code must draw from an explicitly seeded generator object
-    (``random.Random(seed)`` / ``numpy.random.default_rng(seed)``) that
-    the caller can plumb a seed into; the process-global RNGs make every
-    run — and every *node* of the distributed protocol — diverge.
+    (``random.Random(seed)``) that the caller can plumb a seed into;
+    the process-global RNG makes every run — and every *node* of the
+    distributed protocol — diverge.  The numpy analogue is REPRO109.
     """
 
     rule_id = "REPRO101"
@@ -123,16 +123,100 @@ class UnseededRngRule(Rule):
                     f"{full}() uses the process-global RNG; "
                     "draw from a seeded random.Random instance",
                 )
-            elif full.startswith("numpy.random."):
-                tail = full[len("numpy.random."):]
-                if tail in ("default_rng", "Generator", "SeedSequence") and (
-                    node.args or node.keywords
-                ):
+
+
+# ----------------------------------------------------------------------
+# REPRO109: unseeded numpy.random generators and legacy global draws
+# ----------------------------------------------------------------------
+#: ``numpy.random`` bit-generator classes (all take ``seed`` first).
+_NUMPY_BIT_GENERATORS = {"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+#: Constructors whose first argument (or ``seed=``) is the seed.
+_NUMPY_SEEDED_CONSTRUCTORS = (
+    {"default_rng", "SeedSequence", "RandomState"} | _NUMPY_BIT_GENERATORS
+)
+
+
+def _unseeded_call(node: ast.Call) -> bool:
+    """No seed argument at all, or an explicit ``None`` seed."""
+    seed: Optional[ast.AST] = None
+    if node.args:
+        seed = node.args[0]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                seed = keyword.value
+                break
+    if seed is None:
+        return True
+    return isinstance(seed, ast.Constant) and seed.value is None
+
+
+class NumpyRngRule(Rule):
+    """Unseeded ``numpy.random`` use, now that numpy is in the runtime.
+
+    The batched verdict kernel pulled numpy into library code, so the
+    REPRO101 argument applies to its RNG surface too — in all three
+    shapes it comes in: ``default_rng()`` / ``SeedSequence()`` /
+    bit generators without an explicit seed (``None`` counts — that is
+    OS entropy), ``Generator(...)`` wrapping an unseeded bit generator,
+    and the legacy module-level draws (``numpy.random.rand`` et al.),
+    which mutate process-global state no worker can reproduce.
+    ``numpy.random.seed`` is flagged with the latter: seeding the
+    global RNG *is* hidden shared state, exactly what the scheduler's
+    plumbed ``random.Random(seed)`` objects exist to avoid.
+    """
+
+    rule_id = "REPRO109"
+    name = "unseeded-numpy-rng"
+    summary = "unseeded numpy.random generator or legacy global draw"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve(node.func, imports)
+            if full is None or not full.startswith("numpy.random."):
+                continue
+            tail = full[len("numpy.random."):]
+            if tail == "Generator":
+                if not node.args:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "numpy.random.Generator() without a bit generator; "
+                        "use numpy.random.default_rng(seed)",
+                    )
                     continue
+                source = node.args[0]
+                if isinstance(source, ast.Call):
+                    inner = _resolve(source.func, imports)
+                    if (
+                        inner is not None
+                        and inner.startswith("numpy.random.")
+                        and inner[len("numpy.random."):]
+                        in _NUMPY_BIT_GENERATORS
+                        and _unseeded_call(source)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{_snippet(node)}: Generator over an unseeded "
+                            "bit generator; pass an explicit seed",
+                        )
+            elif tail in _NUMPY_SEEDED_CONSTRUCTORS:
+                if _unseeded_call(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{full}() without an explicit seed "
+                        "(None draws OS entropy)",
+                    )
+            else:
                 yield self.finding(
                     ctx,
                     node,
-                    f"{full}() is unseeded or uses numpy's global RNG; "
+                    f"{full}() uses numpy's process-global RNG; "
                     "use numpy.random.default_rng(seed)",
                 )
 
@@ -839,6 +923,7 @@ class ShardLocalityRule(Rule):
 
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRngRule(),
+    NumpyRngRule(),
     SetIterationOrderRule(),
     WallClockRule(),
     LayeringRule(),

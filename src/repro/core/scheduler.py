@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.criterion import VertexCycle, is_tau_partitionable
 from repro.core.vpt import deletion_radius
+from repro.cycles.batch import batch_verdicts_enabled
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import current_metrics, current_tracer
 from repro.parallel.runner import (
@@ -46,6 +47,7 @@ from repro.parallel.runner import (
     resolve_workers,
 )
 from repro.topology import LocalTopologyEngine, TopologyCounters
+from repro.topology.mis import WaveMIS
 
 
 @dataclass
@@ -226,6 +228,11 @@ def _dcc_schedule_rounds(
     deletions_per_round: List[int] = []
     separation = deletion_radius(tau) + 1
     counters_before = engine.counters.as_dict() if metrics is not None else None
+    use_batch = (
+        mode == "parallel"
+        and batch_verdicts_enabled()
+        and engine.kernel is not None
+    )
     round_no = 0
 
     while True:
@@ -260,16 +267,53 @@ def _dcc_schedule_rounds(
                 with tracer.trace("scheduler.mis_draw", round=round_no) as draw:
                     blocked: Set[int] = set()
                     batch = []
-                    for v in order:
-                        if v in blocked:
-                            continue
-                        if (
-                            verdict_of[v]
-                            if verdict_of is not None
-                            else engine.deletable(v)
-                        ):
-                            batch.append(v)
-                            blocked |= engine.ball(v, separation - 1)
+                    if verdict_of is None and use_batch:
+                        # Wave MIS: each step's label propagation finds
+                        # every candidate whose smaller-priority
+                        # neighbours within the separation radius are
+                        # all decided — testable candidates are
+                        # pairwise conflict-free and resolve in one
+                        # batched kernel call; candidates inside a
+                        # winner's radius drop without any test.  The
+                        # tested set and the winner set equal the lazy
+                        # scan's exactly, with zero ball extractions
+                        # (the lazy scan pays one BFS per winner).
+                        mis = WaveMIS(
+                            engine.kernel,
+                            (
+                                (v, position)
+                                for position, v in enumerate(order)
+                            ),
+                            separation - 1,
+                        )
+                        # Loop to the fixpoint, not until a testable-
+                        # empty step: a wave may decide only blocked
+                        # candidates (every current local minimum sits
+                        # inside a winner's radius) while later-priority
+                        # candidates still await their turn.
+                        while mis.undecided_count():
+                            testable, wave_blocked = mis.step()
+                            if not testable and not wave_blocked:
+                                break  # pragma: no cover - unreachable
+                            for v, verdict in zip(
+                                testable,
+                                engine.span_verdicts_batch(testable),
+                            ):
+                                mis.record_verdict(v, verdict)
+                        # winners() is priority-ascending: the lazy
+                        # scan's deletion order.
+                        batch = mis.winners()
+                    else:
+                        for v in order:
+                            if v in blocked:
+                                continue
+                            if (
+                                verdict_of[v]
+                                if verdict_of is not None
+                                else engine.deletable(v)
+                            ):
+                                batch.append(v)
+                                blocked |= engine.ball(v, separation - 1)
                     draw.set(winners=len(batch))
                 if not batch:
                     break

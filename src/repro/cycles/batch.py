@@ -1,0 +1,734 @@
+"""Batched uint64 GF(2) span verdicts over stacked candidate matrices.
+
+The scalar kernel (:meth:`repro.cycles.kernel.CSRGraph.span_connected_verdict`)
+answers Definition 5 one candidate at a time with tight Python loops.  A
+MIS round, however, produces *many* independent candidates against the
+same frozen graph — the verdicts are pure, so they can be stacked and
+answered with a handful of vectorized numpy passes instead of millions
+of interpreter steps.
+
+Representation.  Every candidate's punctured k-ball has at most
+``BATCH_MAX_MEMBERS`` (= 64) members at the radii the schedulers use, so
+one ``uint64`` word per member encodes its adjacency *within the
+candidate* (bit ``j`` set = adjacent to local member ``j``).  All
+candidates of a round are concatenated into flat member/edge arrays;
+per-candidate reductions are ``bitwise_or.reduceat`` over the candidate
+boundaries.  The pipeline is the exact staged shape of the scalar
+kernel:
+
+1. connectivity by batched bit-propagation (``reach |= OR of rows in
+   the frontier``) — disconnected candidates resolve here;
+2. a BFS forest read off the propagation layers, chords numbered in
+   sorted edge order, cycle coordinates taken in the *chord space*
+   (a cycle's coordinate vector in the fundamental basis is the
+   indicator of the chords it contains, so rank is spanning-tree
+   independent; rows are ``ceil(nu / 64)`` uint64 words, at most
+   ``BATCH_MAX_CHORD_WORDS``);
+3. stage 1 triangles / stage 2 first-wedge-thinned 4-cycles — the same
+   cycle families the scalar kernel streams — eliminated by a
+   vectorized column-pivot GF(2) absorption loop.
+
+Early exit is per candidate *and* per slab: cycle rows are fed to the
+elimination in per-candidate slabs of roughly ``nu`` rows with doubling
+limits, so a candidate that reaches full rank early (the common case —
+dense neighbourhoods resolve midway through their triangles) never
+builds or reduces the rest of its rows.  Candidates are also grouped by
+chord-row width so narrow cycle spaces pay for one word, not the wave
+maximum.
+
+Verdict: connected **and** rank == nu (= E - V + 1).  The span tested
+is a canonical function of the subgraph, so verdicts agree with the
+scalar kernel and the dict oracles bit for bit — the property suite
+drives all three against each other.
+
+Bypass (scalar fallback, same answer, documented in DESIGN.md §10):
+``tau >= 5`` (stage 3 truncated-BFS closures stay scalar), more than 64
+members, more than ``64 * BATCH_MAX_CHORD_WORDS`` chords, or numpy
+missing entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from itertools import chain
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised by the import-time environment
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Largest candidate (member count) the packed path accepts; one uint64
+#: adjacency word per member.
+BATCH_MAX_MEMBERS = 64
+#: Widest chord row the packed path accepts, in 64-bit words.  10k-node
+#: unit-disk deployments at tau=4 peak around nu=240, i.e. 4 words.
+BATCH_MAX_CHORD_WORDS = 4
+#: Below this many packable candidates a call runs the scalar kernel
+#: per candidate instead: the packed pipeline's fixed per-call numpy
+#: cost (a few dozen kernel launches) only amortizes on fat waves, and
+#: the tail waves of a round are small.
+BATCH_MIN_CANDIDATES = 24
+#: Per-candidate slack above ``nu`` in the first elimination slab.
+_SLAB_PAD = 32
+#: Below this many residual rows an absorption switches to the big-int
+#: tail loop (see ``_EliminationState._eliminate_tail``).
+_TAIL_ROWS = 96
+_WORD_MASK = (1 << 64) - 1
+
+_ONE = None if np is None else np.uint64(1)
+_ZERO = None if np is None else np.uint64(0)
+
+#: Per-kernel flat adjacency arrays, keyed weakly so dead kernels drop
+#: their cache with them.  See :func:`_flat_adjacency` for staleness.
+_FLAT_ADJ_CACHE = weakref.WeakKeyDictionary()
+
+#: Per-kernel packed slot-adjacency bit matrices (see
+#: :func:`_adjacency_bits`), same staleness rule as the flat arrays.
+_ADJ_BITS_CACHE = weakref.WeakKeyDictionary()
+
+_LMAJOR_PAIRS = None
+_TRANSPOSE_STEPS = None
+
+
+def numpy_available() -> bool:
+    """True when the vectorized path can run at all."""
+    return np is not None
+
+
+def batch_verdicts_enabled() -> bool:
+    """Should schedulers route verdict waves through the batch kernel?
+
+    Gated on ``REPRO_BATCH_VERDICTS`` (off by default; ``0``/``false``/
+    ``off``/empty disable) *and* on numpy being importable.  Read at
+    call time, not import time, so tests and CI can flip it per run;
+    worker processes inherit the environment and therefore the setting.
+    Schedules are byte-identical either way — the knob only moves where
+    the verdicts are computed.
+    """
+    value = os.environ.get("REPRO_BATCH_VERDICTS", "")
+    if value.strip().lower() in ("", "0", "false", "off"):
+        return False
+    return np is not None
+
+
+def _lmajor_pairs():
+    """``(i, l)`` local pair index arrays in l-major order.
+
+    l-major enumeration is *prefix closed*: the first ``m*(m-1)/2``
+    entries are exactly the pairs over the first ``m`` members, so one
+    shared table serves every candidate size up to
+    ``BATCH_MAX_MEMBERS`` by slicing.
+    """
+    global _LMAJOR_PAIRS
+    if _LMAJOR_PAIRS is None:
+        counts = np.arange(1, BATCH_MAX_MEMBERS, dtype=np.int64)
+        _LMAJOR_PAIRS = (
+            np.concatenate([np.arange(l, dtype=np.int64) for l in counts]),
+            np.repeat(counts, counts),
+        )
+    return _LMAJOR_PAIRS
+
+
+def _transpose64(blocks):
+    """In-place bitwise transpose of stacked 64x64 bit blocks.
+
+    ``blocks`` is ``(n, 64)`` uint64; bit ``x`` of row ``r`` moves to
+    bit ``r`` of row ``x`` within each block (Hacker's Delight masked
+    swap ladder, vectorized across blocks).
+    """
+    global _TRANSPOSE_STEPS
+    if _TRANSPOSE_STEPS is None:
+        steps = []
+        j, m = 32, 0x00000000FFFFFFFF
+        while j:
+            steps.append((j, np.uint64(j), np.uint64(m)))
+            j >>= 1
+            m ^= m << j
+        _TRANSPOSE_STEPS = steps
+    n = blocks.shape[0]
+    for j, shift, mask in _TRANSPOSE_STEPS:
+        # Rows with bit j clear vs set are contiguous j-long runs, so
+        # both operands are reshape *views* — every op is in place.
+        view = blocks.reshape(n, 64 // (2 * j), 2, j)
+        a0 = view[:, :, 0, :]
+        a1 = view[:, :, 1, :]
+        t = ((a0 >> shift) ^ a1) & mask
+        a0 ^= t << shift
+        a1 ^= t
+    return blocks
+
+
+def _leadbit(w):
+    """Leading set-bit positions of positive uint64 words, vectorized.
+
+    float64 conversion rounds to nearest, so ``frexp``'s exponent is the
+    bit length or one above it (rounding can only carry *up* across a
+    power of two); a single probe of the claimed bit corrects it.
+    """
+    e = np.frexp(w.astype(np.float64))[1].astype(np.int64) - 1
+    np.minimum(e, 63, out=e)
+    e -= (((w >> e.astype(np.uint64)) & _ONE) == 0).astype(np.int64)
+    return e
+
+
+def _segment_or(values, group_of, size):
+    """OR ``values`` grouped by sorted ``group_of`` keys into ``size`` slots."""
+    out = np.zeros(size, np.uint64)
+    if values.size:
+        starts = np.flatnonzero(np.diff(group_of, prepend=-1))
+        out[group_of[starts]] = np.bitwise_or.reduceat(values, starts)
+    return out
+
+
+def _group_prior(groups, counts):
+    """Exclusive per-group running sum of ``counts`` (groups pre-sorted).
+
+    ``prior[i]`` is how many units elements of the same group contribute
+    before element ``i`` — the per-candidate budget check that lets the
+    stages expand only the first ~nu cycle rows of each candidate.
+    """
+    cum = np.cumsum(counts)
+    starts = np.flatnonzero(np.diff(groups, prepend=-1))
+    sizes = np.diff(np.append(starts, groups.size))
+    base = np.repeat(cum[starts] - counts[starts], sizes)
+    return cum - counts - base
+
+
+class _EliminationState:
+    """Per-class GF(2) pivot tables, rank counters and early-exit masks.
+
+    Candidates are grouped by chord-row width before elimination (see
+    ``_packed_verdicts``); within a class every absorb call runs on one
+    stacked matrix.  The dominant ``width == 1`` class keeps its rows as
+    a flat 1-D uint64 array — every pass is a handful of scalar-typed
+    vector ops with no 2-D fancy indexing.  ``rank``, ``nu`` and
+    ``alive`` are indexed by class-candidate position.
+    """
+
+    __slots__ = ("nu", "width", "span", "rank", "alive", "pivcols", "filled")
+
+    def __init__(self, nu, width: int) -> None:
+        self.nu = nu
+        self.width = width
+        self.span = 64 * width
+        self.rank = np.zeros(nu.size, np.int64)
+        self.alive = np.ones(nu.size, bool)
+        self.pivcols = [
+            np.zeros(nu.size * self.span, np.uint64) for _ in range(width)
+        ]
+        self.filled = np.zeros(nu.size * self.span, bool)
+
+    def absorb(self, cand, edge_ids, edge_word, edge_bit) -> None:
+        """Feed cycle rows, each the XOR of 3 or 4 edge coordinates.
+
+        ``edge_ids`` is a tuple of index arrays into the edge chord
+        arrays.  Rows of already-resolved candidates are dropped before
+        they are even built.
+        """
+        live = np.flatnonzero(self.alive[cand])
+        if live.size != cand.size:
+            cand = cand[live]
+        if not cand.size:
+            return
+        if self.width == 1:
+            cols = [edge_bit[edge_ids[0][live]]]
+            for eid in edge_ids[1:]:
+                cols[0] = cols[0] ^ edge_bit[eid[live]]
+        else:
+            cols = [
+                np.zeros(cand.size, np.uint64) for _ in range(self.width)
+            ]
+            for eid in edge_ids:
+                eid = eid[live]
+                word = edge_word[eid]
+                bit = edge_bit[eid]
+                for k in range(self.width):
+                    m = word == k
+                    cols[k][m] ^= bit[m]
+        self._eliminate(cand, cols)
+
+    def _lead(self, cols):
+        """Leading bit position across the column tuple (rows nonzero)."""
+        lead = _leadbit(cols[0])
+        for k in range(1, self.width):
+            word = cols[k]
+            lead = np.where(word != _ZERO, 64 * k + _leadbit(word), lead)
+        return lead
+
+    def _eliminate(self, cand, cols) -> None:
+        """Column-tuple absorption: install, then XOR rows on their pivot.
+
+        Each pass: rows pointing at a vacant slot install (first per
+        slot, bumping their candidate's rank); then *every* row XORs
+        against the pivot of its slot — just-installed rows cancel to
+        zero and drop, duplicates and reducible rows strictly lose
+        their leading bit.  A candidate reaching ``rank == nu`` leaves
+        ``alive`` and sheds its rows.  Rank is basis independent, so
+        install order never changes a verdict, and per-candidate pivot
+        slots never exceed ``nu`` (rows live in GF(2)^nu), so rank
+        cannot overshoot.
+        """
+        filled = self.filled
+        alive = self.alive
+        pivcols = self.pivcols
+        width = self.width
+        nonzero = cols[0] != _ZERO
+        for k in range(1, width):
+            nonzero |= cols[k] != _ZERO
+        keep = np.flatnonzero(nonzero & alive[cand])
+        cand = cand[keep]
+        cols = [col[keep] for col in cols]
+        while cand.size > _TAIL_ROWS:
+            key = cand * self.span + self._lead(cols)
+            vacant = np.flatnonzero(~filled[key])
+            if vacant.size:
+                unique_keys, first = np.unique(
+                    key[vacant], return_index=True
+                )
+                rows = vacant[first]
+                for k in range(width):
+                    pivcols[k][unique_keys] = cols[k][rows]
+                filled[unique_keys] = True
+                owners = unique_keys // self.span
+                np.add.at(self.rank, owners, 1)
+                done = owners[self.rank[owners] >= self.nu[owners]]
+                if done.size:
+                    alive[done] = False
+            cols = [col ^ piv[key] for col, piv in zip(cols, pivcols)]
+            nonzero = cols[0] != _ZERO
+            for k in range(1, width):
+                nonzero |= cols[k] != _ZERO
+            keep = np.flatnonzero(nonzero & alive[cand])
+            cand = cand[keep]
+            cols = [col[keep] for col in cols]
+        if cand.size:
+            self._eliminate_tail(cand, cols)
+
+    def _eliminate_tail(self, cand, cols) -> None:
+        """Big-int tail for the last few rows of an absorption.
+
+        The vectorized pass costs a fixed ~20 numpy calls regardless of
+        row count, and reduction chains leave a long tail of tiny
+        passes; once few rows remain it is cheaper to fold the columns
+        into Python ints and run the scalar install-or-XOR loop against
+        the same pivot tables (reads and writes go straight to the
+        numpy arrays, so vectorized and tail passes interleave freely).
+        """
+        span = self.span
+        width = self.width
+        filled = self.filled
+        pivcols = self.pivcols
+        rank = self.rank
+        nu = self.nu
+        alive = self.alive
+        col_lists = [col.tolist() for col in cols]
+        for pos, c in enumerate(cand.tolist()):
+            if not alive[c]:
+                continue
+            vec = 0
+            for k in range(width):
+                vec |= col_lists[k][pos] << (64 * k)
+            base = c * span
+            while vec:
+                lead = vec.bit_length() - 1
+                key = base + lead
+                if filled[key]:
+                    for k in range(width):
+                        vec ^= int(pivcols[k][key]) << (64 * k)
+                else:
+                    for k in range(width):
+                        pivcols[k][key] = (vec >> (64 * k)) & _WORD_MASK
+                    filled[key] = True
+                    rank[c] += 1
+                    if rank[c] >= nu[c]:
+                        alive[c] = False
+                    break
+
+
+def span_verdict_batch(
+    csr, member_lists: Sequence[Sequence[int]], tau: int
+) -> List[bool]:
+    """Definition 5 verdicts for many member-slot lists, one graph pass.
+
+    ``member_lists`` holds sorted alive-slot sequences against ``csr``
+    (exactly what :meth:`CSRGraph.punctured_ball_slots` returns); the
+    result list is positionally aligned.  Candidates outside the packed
+    path's envelope fall back to the scalar kernel individually, so the
+    answer is total either way.
+    """
+    if tau < 3:
+        raise ValueError("tau must be at least 3 (the shortest cycle)")
+    verdicts: List[Optional[bool]] = [None] * len(member_lists)
+    packed: List[int] = []
+    if np is not None and tau <= 4:
+        for idx, members in enumerate(member_lists):
+            count = len(members)
+            if count == 0:
+                verdicts[idx] = True
+            elif count <= BATCH_MAX_MEMBERS:
+                packed.append(idx)
+    if len(packed) < BATCH_MIN_CANDIDATES:
+        packed = []
+    if packed:
+        _packed_verdicts(csr, member_lists, packed, tau, verdicts)
+    for idx, verdict in enumerate(verdicts):
+        if verdict is None:
+            verdicts[idx] = csr.span_connected_verdict(
+                list(member_lists[idx]), tau
+            )
+    return verdicts  # type: ignore[return-value]
+
+
+def _flat_adjacency(csr):
+    """``(indptr, flat)`` CSR arrays for the graph's adjacency lists.
+
+    Cached per kernel instance and rebuilt only when the *edge
+    structure* changes (``edges_version``): vertex deletions leave the
+    cache in place, because stale entries point at dead slots, and dead
+    slots are never candidate members — the membership join drops them
+    for free.
+    """
+    entry = _FLAT_ADJ_CACHE.get(csr)
+    if entry is None or entry[0] != csr.edges_version:
+        adj = csr.adj
+        degrees = np.fromiter(map(len, adj), np.int64, count=len(adj))
+        indptr = np.zeros(len(adj) + 1, np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        flat = np.fromiter(
+            chain.from_iterable(adj), np.int64, count=int(indptr[-1])
+        )
+        entry = (csr.edges_version, indptr, flat)
+        _FLAT_ADJ_CACHE[csr] = entry
+    return entry[1], entry[2]
+
+
+def _adjacency_bits(csr):
+    """Packed slot-adjacency bit matrix, flat ``(nslots * words,)``.
+
+    Word ``slot * words + (other >> 6)`` holds bit ``other & 63`` iff
+    the two slots are adjacent — an O(1) edge probe for the pair join.
+    Staleness contract matches :func:`_flat_adjacency`: stale bits can
+    only point at dead slots, which are never candidate members.
+    """
+    entry = _ADJ_BITS_CACHE.get(csr)
+    if entry is None or entry[0] != csr.edges_version:
+        indptr, flat = _flat_adjacency(csr)
+        nslots = len(indptr) - 1
+        words = (nslots + 63) // 64 if nslots else 1
+        src = np.repeat(
+            np.arange(nslots, dtype=np.int64), np.diff(indptr)
+        )
+        key = src * words + (flat >> 6)
+        order = np.argsort(key, kind="stable")
+        bits = _segment_or(
+            _ONE << (flat[order] & 63).astype(np.uint64),
+            key[order],
+            nslots * words,
+        )
+        entry = (csr.edges_version, bits, words)
+        _ADJ_BITS_CACHE[csr] = entry
+    return entry[1], entry[2]
+
+
+def _packed_verdicts(csr, member_lists, packed, tau, verdicts) -> None:
+    lists = [member_lists[i] for i in packed]
+    lens = np.fromiter(map(len, lists), dtype=np.int64, count=len(lists))
+    cands = len(lists)
+    offsets = np.zeros(cands + 1, np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    total = int(offsets[-1])
+    members = np.fromiter(
+        chain.from_iterable(lists), dtype=np.int64, count=total
+    )
+    cand_of = np.repeat(np.arange(cands, dtype=np.int64), lens)
+    local_i = np.arange(total, dtype=np.int64) - offsets[cand_of]
+    local = local_i.astype(np.uint64)
+    max_members = int(lens.max()) if cands else 0
+
+    # --- pair join: which member pairs are graph edges ---
+    # Every candidate's local pairs (i < l) come from one shared
+    # l-major prefix-closed table; each pair is answered by an O(1)
+    # probe of the packed slot-adjacency matrix.  No per-neighbour
+    # gather, no sorted membership search, and the pair arrays are
+    # reused verbatim by stage 2.
+    bits, words = _adjacency_bits(csr)
+    tab_i, tab_l = _lmajor_pairs()
+    npairs = lens * (lens - 1) // 2
+    pair_off = np.zeros(cands + 1, np.int64)
+    np.cumsum(npairs, out=pair_off[1:])
+    p_cand = np.repeat(np.arange(cands, dtype=np.int64), npairs)
+    p_rel = np.arange(int(pair_off[-1]), dtype=np.int64) - pair_off[p_cand]
+    p_il = tab_i[p_rel]
+    p_ll = tab_l[p_rel]
+    p_gi = offsets[p_cand] + p_il
+    p_gl = offsets[p_cand] + p_ll
+    slot_l = members[p_gl]
+    p_adj = (
+        bits[members[p_gi] * words + (slot_l >> 6)]
+        >> (slot_l & 63).astype(np.uint64)
+    ) & _ONE
+    e_sel = np.flatnonzero(p_adj)
+    e_i = p_gi[e_sel]  # global member index, lower local side
+    e_j = p_gl[e_sel]  # global member index, higher local side
+    e_cand = p_cand[e_sel]
+    li = p_il[e_sel]
+    lj = p_ll[e_sel]
+
+    # --- per-member adjacency words ---
+    # Edges are (candidate, l)-sorted, so the lower halves segment-OR
+    # straight into a (cands, 64) block matrix; the upper halves are
+    # its 64x64 bitwise transpose.
+    lower = _segment_or(_ONE << li.astype(np.uint64), e_cand * 64 + lj, cands * 64)
+    upper = _transpose64(lower.reshape(cands, 64).copy()).reshape(-1)
+    A = (lower | upper)[cand_of * 64 + local_i]
+
+    # --- connectivity: batched bit-propagation from local vertex 0 ---
+    full = np.full(cands, ~_ZERO, np.uint64)
+    small = lens < 64
+    full[small] = (_ONE << lens[small].astype(np.uint64)) - _ONE
+    reach = np.ones(cands, np.uint64)
+    dist = np.full(total, -1, np.int64)
+    cand_starts = offsets[:-1]
+    dist[cand_starts] = 0
+    frontier = reach.copy()
+    layer_hist = [frontier]
+    depth = 0
+    while True:
+        depth += 1
+        in_front = ((frontier[cand_of] >> local) & _ONE).astype(bool)
+        agg = np.bitwise_or.reduceat(
+            np.where(in_front, A, _ZERO), cand_starts
+        )
+        new = agg & ~reach
+        if not new.any():
+            break
+        reach |= new
+        dist[((new[cand_of] >> local) & _ONE).astype(bool)] = depth
+        frontier = new
+        layer_hist.append(new)
+    connected = reach == full
+
+    # --- BFS forest off the propagation layers -> chord numbering ---
+    # The frontier words *are* the per-depth layer masks, so the forest
+    # comes straight off the propagation history: a member's parent is
+    # the lowest neighbour bit in the previous layer.
+    layers = np.stack(layer_hist, axis=1)
+    parent = np.full(total, -1, np.int64)
+    inner = dist >= 1
+    parent_word = A[inner] & layers[cand_of[inner], dist[inner] - 1]
+    lsb = parent_word & (_ZERO - parent_word)
+    parent[inner] = np.bitwise_count(lsb - _ONE).astype(np.int64)
+
+    # Each undirected edge appears once already (li < lj by the pair
+    # enumeration); keep connected candidates only before numbering.
+    keep = connected[e_cand]
+    e_i = e_i[keep]
+    e_j = e_j[keep]
+    e_cand = e_cand[keep]
+    li = li[keep]
+    lj = lj[keep]
+    is_chord = ~((parent[e_j] == li) | (parent[e_i] == lj))
+    running = np.cumsum(is_chord)
+    nu = np.zeros(cands, np.int64)
+    if e_cand.size:
+        group_starts = np.flatnonzero(np.diff(e_cand, prepend=-1))
+        group_ends = np.append(group_starts[1:], e_cand.size) - 1
+        group_base = running[group_starts] - is_chord[group_starts]
+        nu[e_cand[group_starts]] = running[group_ends] - group_base
+        base = np.repeat(
+            group_base, np.diff(np.append(group_starts, e_cand.size))
+        )
+        chord_index = running - base - 1
+    else:
+        chord_index = running
+
+    for idx in np.flatnonzero(~connected).tolist():
+        verdicts[packed[idx]] = False
+    trivial = connected & (nu == 0)
+    for idx in np.flatnonzero(trivial).tolist():
+        verdicts[packed[idx]] = True
+    # Wider cycle spaces than the chord-word budget: scalar fallback
+    # (verdict left None for the caller loop).
+    pending = connected & (nu >= 1) & (nu <= 64 * BATCH_MAX_CHORD_WORDS)
+    if not pending.any():
+        return
+    # Narrow storage: (word index, bit) per edge; tree edges carry bit 0
+    # so XOR-ing them into a cycle row is a no-op by construction.
+    edge_word_all = np.where(is_chord, chord_index >> 6, 0)
+    edge_bit_all = np.where(
+        is_chord,
+        _ONE << (np.where(is_chord, chord_index, 0) & 63).astype(np.uint64),
+        _ZERO,
+    )
+    e_cand_all = e_cand
+    e_i_all = e_i
+    e_j_all = e_j
+    li_all = li
+    lj_all = lj
+
+    def run_class(class_mask) -> None:
+        """Stages 1-2 plus elimination for one chord-row-width class."""
+        class_ids = np.flatnonzero(class_mask)
+        remap = np.full(cands, -1, np.int64)
+        remap[class_ids] = np.arange(class_ids.size, dtype=np.int64)
+        c_nu = nu[class_ids]
+        width = int((int(c_nu.max()) + 63) // 64)
+        sel = np.flatnonzero(class_mask[e_cand_all])
+        e_cand = remap[e_cand_all[sel]]
+        e_i = e_i_all[sel]
+        e_j = e_j_all[sel]
+        li = li_all[sel]
+        lj = lj_all[sel]
+        edge_word = edge_word_all[sel]
+        edge_bit = edge_bit_all[sel]
+        # Direct-address edge table: key = (candidate, lo local, hi
+        # local).  Left uninitialised on purpose — every lookup below
+        # closes a cycle over pairs that are adjacent by construction,
+        # so only assigned keys are ever read.
+        edge_table = np.empty(class_ids.size << 12, np.int32)
+        edge_table[(e_cand << 12) | (li << 6) | lj] = np.arange(
+            e_cand.size, dtype=np.int32
+        )
+
+        def edge_lookup(cand, a, b):
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            return edge_table[(cand << 12) | (lo << 6) | hi]
+
+        state = _EliminationState(c_nu, width)
+
+        # --- stage 1: triangles, grouped under their *highest* edge ---
+        # A triangle (c, a, b) with c < a < b is charged to edge (a, b)
+        # and witnessed by c.  Chords are numbered in (hi, lo)
+        # l-major order, so (a, b) is the triangle's largest chord
+        # whenever it is a chord at all — the first witness per edge
+        # then installs straight into that pivot slot with no reduction
+        # chain, and one such row per edge resolves most dense
+        # candidates outright.
+        witness = A[e_i] & A[e_j] & ((_ONE << local[e_i]) - _ONE)
+
+        def run_triangles(edge_idx, masks) -> None:
+            bits = np.unpackbits(masks.view(np.uint8), bitorder="little")
+            t_loc, t_c = np.nonzero(bits.reshape(-1, 64)[:, :max_members])
+            if not t_loc.size:
+                return
+            t_edge = edge_idx[t_loc]
+            t_c = t_c.astype(np.int64)
+            t_cand = e_cand[t_edge]
+            closing = edge_lookup(
+                np.concatenate((t_cand, t_cand)),
+                np.concatenate((t_c, t_c)),
+                np.concatenate((li[t_edge], lj[t_edge])),
+            )
+            state.absorb(
+                t_cand,
+                (t_edge, closing[: t_edge.size], closing[t_edge.size :]),
+                edge_word,
+                edge_bit,
+            )
+
+        has_wit = witness != _ZERO
+        if has_wit.any():
+            # Round 1: the first (lowest) witness of every edge.
+            w_edge = np.flatnonzero(has_wit)
+            wit = witness[w_edge]
+            lsb = wit & (_ZERO - wit)
+            c0 = np.bitwise_count(lsb - _ONE).astype(np.int64)
+            w_cand = e_cand[w_edge]
+            closing = edge_lookup(
+                np.concatenate((w_cand, w_cand)),
+                np.concatenate((c0, c0)),
+                np.concatenate((li[w_edge], lj[w_edge])),
+            )
+            state.absorb(
+                w_cand,
+                (w_edge, closing[: w_edge.size], closing[w_edge.size :]),
+                edge_word,
+                edge_bit,
+            )
+            # Round 2: remaining witnesses, budgeted per candidate and
+            # only for candidates short of full rank — the batch
+            # analogue of the scalar kernel's mid-stage early exit.
+            rest = witness & ~_segment_or(lsb, w_edge, witness.size)
+            rest_cnt = np.bitwise_count(rest).astype(np.int64)
+            has_rest = (rest_cnt > 0) & state.alive[e_cand]
+            if has_rest.any():
+                eager = has_rest & (
+                    _group_prior(e_cand, rest_cnt) < c_nu[e_cand] + _SLAB_PAD
+                )
+                if eager.any():
+                    idx = np.flatnonzero(eager)
+                    run_triangles(idx, rest[idx])
+                backlog = has_rest & ~eager & state.alive[e_cand]
+                if backlog.any():
+                    idx = np.flatnonzero(backlog)
+                    run_triangles(idx, rest[idx])
+        rank = state.rank
+        if tau == 3:
+            for pos, idx in enumerate(class_ids.tolist()):
+                verdicts[packed[idx]] = bool(rank[pos] == c_nu[pos])
+            return
+
+        # --- stage 2: first-wedge-thinned 4-cycles on survivors ---
+        survivors = np.flatnonzero(rank < c_nu)
+        if survivors.size:
+            surv_mask = np.zeros(cands, bool)
+            surv_mask[class_ids[survivors]] = True
+            psel = np.flatnonzero(surv_mask[p_cand])
+            g_i = p_gi[psel]
+            g_l = p_gl[psel]
+            g_cand = remap[p_cand[psel]]
+            common = A[g_i] & A[g_l]
+            wedge = np.bitwise_count(common) >= 2
+            g_i = g_i[wedge]
+            g_l = g_l[wedge]
+            g_cand = g_cand[wedge]
+            common = common[wedge]
+            if common.size:
+                lsb = common & (_ZERO - common)
+                j0 = np.bitwise_count(lsb - _ONE).astype(np.int64)
+                others = common & ~lsb
+
+                def run_quads(pair_idx) -> None:
+                    bits = np.unpackbits(
+                        others[pair_idx].view(np.uint8), bitorder="little"
+                    )
+                    w_loc, j1 = np.nonzero(
+                        bits.reshape(-1, 64)[:, :max_members]
+                    )
+                    if not w_loc.size:
+                        return
+                    w_pair = pair_idx[w_loc]
+                    j1 = j1.astype(np.int64)
+                    c_cand = g_cand[w_pair]
+                    c_i = local[g_i[w_pair]].astype(np.int64)
+                    c_l = local[g_l[w_pair]].astype(np.int64)
+                    c_j0 = j0[w_pair]
+                    quad = edge_lookup(
+                        np.concatenate((c_cand, c_cand, c_cand, c_cand)),
+                        np.concatenate((c_i, c_j0, c_l, j1)),
+                        np.concatenate((c_j0, c_l, j1, c_i)),
+                    )
+                    state.absorb(
+                        c_cand, tuple(quad.reshape(4, -1)), edge_word, edge_bit
+                    )
+
+                quad_cnt = np.bitwise_count(others).astype(np.int64)
+                eager = _group_prior(g_cand, quad_cnt) < c_nu[g_cand] + _SLAB_PAD
+                if eager.any():
+                    run_quads(np.flatnonzero(eager))
+                backlog = ~eager & state.alive[g_cand]
+                if backlog.any():
+                    run_quads(np.flatnonzero(backlog))
+        for pos, idx in enumerate(class_ids.tolist()):
+            verdicts[packed[idx]] = bool(rank[pos] == c_nu[pos])
+
+    # Candidates grouped by chord-row width: the dominant nu <= 64 class
+    # runs the whole pipeline on flat 1-D rows; rarer wide candidates
+    # pay exactly the words they need without dragging the others along.
+    for lo, hi in ((1, 64), (65, 128), (129, 64 * BATCH_MAX_CHORD_WORDS)):
+        group = pending & (nu >= lo) & (nu <= hi)
+        if group.any():
+            run_class(group)

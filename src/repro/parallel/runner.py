@@ -58,6 +58,16 @@ from typing import (
 )
 
 from repro.checks.sanitizer import current_sanitizer
+from repro.cycles.batch import batch_verdicts_enabled
+from repro.parallel.shm import (
+    SharedBlocks,
+    ShmSource,
+    attach_graph,
+    publish_graph,
+    publish_partition,
+    shm_available,
+    shm_enabled,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -248,11 +258,22 @@ _WORKER_ENGINE = None
 _WORKER_APPLIED = 0
 
 
-def _init_schedule_worker(blob: bytes, tau: int) -> None:
+def _init_schedule_worker(source, tau: int) -> None:
+    """Build this worker's warm engine from ``source``.
+
+    ``source`` is a compact pickled blob, or a
+    :class:`~repro.parallel.shm.ShmSource` naming a shared CSR segment
+    — attached read-only, copied into the private engine graph, then
+    unmapped (the coordinator owns the segment).
+    """
     global _WORKER_ENGINE, _WORKER_APPLIED
     from repro.topology import LocalTopologyEngine
 
-    _WORKER_ENGINE = LocalTopologyEngine(graph_from_blob(blob), tau)
+    if isinstance(source, ShmSource):
+        graph = attach_graph(source.descriptor)
+    else:
+        graph = graph_from_blob(source)
+    _WORKER_ENGINE = LocalTopologyEngine(graph, tau)
     _WORKER_APPLIED = 0
 
 
@@ -273,16 +294,27 @@ def _test_candidates(
     _WORKER_APPLIED = len(log)
     before = engine.counters.as_dict()
     trace_payload: Optional[Any] = None
+    if batch_verdicts_enabled():
+        # Workers inherit REPRO_BATCH_VERDICTS through the environment;
+        # the whole chunk becomes one batched kernel call (verdicts are
+        # pure, so the answers — and the schedule — are unchanged).
+        def chunk_verdicts():
+            return engine.span_verdicts_batch(list(chunk))
+
+    else:
+        def chunk_verdicts():
+            return [engine.deletable(v) for v in chunk]
+
     if capture:
         tracer = Tracer()
         engine.set_observers(tracer=tracer)
         try:
-            verdicts = [engine.deletable(v) for v in chunk]
+            verdicts = chunk_verdicts()
         finally:
             engine.set_observers(tracer=NULL_TRACER)
         trace_payload = tracer.export_spans()
     else:
-        verdicts = [engine.deletable(v) for v in chunk]
+        verdicts = chunk_verdicts()
     after = engine.counters.as_dict()
     delta = {name: after[name] - before[name] for name in after}
     return list(chunk), verdicts, delta, trace_payload
@@ -306,10 +338,18 @@ class ScheduleFanout:
         self.workers = workers
         self.capture = capture
         self._log: List[int] = []
+        self._segment: Optional[SharedBlocks] = None
+        if shm_enabled() and shm_available():
+            # Publish once; every worker attaches the same segment
+            # instead of unpickling its own copy of the graph.
+            self._segment = publish_graph(graph)
+            source: Any = ShmSource(self._segment.descriptor)
+        else:
+            source = compact_graph_blob(graph)
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_schedule_worker,
-            initargs=(compact_graph_blob(graph), tau),
+            initargs=(source, tau),
         )
 
     def record_deletions(self, batch: Iterable[int]) -> None:
@@ -345,6 +385,9 @@ class ScheduleFanout:
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
 
     def __enter__(self) -> "ScheduleFanout":
         return self
@@ -359,16 +402,18 @@ class ScheduleFanout:
 def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
     """One worker process hosting a fixed set of :class:`LocalShard`\\ s.
 
-    ``inits`` is ``[(shard index, partition blob), ...]``; the partitions
-    (CSR mirrors, verdict caches) live for the whole schedule and the
-    per-round messages carry only rows — the persistent-warm-worker
-    replacement for per-call graph shipping.
+    ``inits`` is ``[(shard index, partition source), ...]`` where each
+    source is whatever :class:`LocalShard` accepts — pickled parts or a
+    shared-memory descriptor; the partitions (CSR mirrors, verdict
+    caches) live for the whole schedule and the per-round messages carry
+    only rows — the persistent-warm-worker replacement for per-call
+    graph shipping.
     """
     from repro.shard.runtime import LocalShard
 
     hosted = {
-        index: LocalShard(index, tau, blob, capture=capture)
-        for index, blob in inits
+        index: LocalShard(index, tau, source, capture=capture)
+        for index, source in inits
     }
     indices = sorted(hosted)
     try:
@@ -379,28 +424,28 @@ def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
             try:
                 out = None
                 if kind == "begin":
-                    out = {
-                        index: hosted[index].begin_round(*payload[index])
-                        for index in indices
-                    }
-                elif kind == "verdicts":
+                    # Payload per shard: (deletion batch, owned rows,
+                    # halo rows).  The previous round's deletions ride
+                    # this message, and the reply is already the first
+                    # sub-round — two fewer roundtrips per round.
                     for index in indices:
-                        hosted[index].absorb_verdicts(payload.get(index, []))
-                elif kind == "subround":
+                        batch, owned_rows, halo_rows = payload[index]
+                        if batch:
+                            hosted[index].apply_deletions(batch)
+                        hosted[index].begin_round(owned_rows, halo_rows)
                     out = {
                         index: hosted[index].mis_subround()
                         for index in indices
                     }
-                elif kind == "status":
+                elif kind == "subround":
                     for index in indices:
                         rows = payload.get(index)
                         if rows:
                             hosted[index].apply_status(rows)
-                elif kind == "apply":
-                    for index in indices:
-                        batch = payload.get(index)
-                        if batch:
-                            hosted[index].apply_deletions(batch)
+                    out = {
+                        index: hosted[index].mis_subround()
+                        for index in indices
+                    }
                 elif kind == "finish":
                     out = {
                         index: (
@@ -423,26 +468,42 @@ def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
 class ShardWorkerPool:
     """Persistent warm workers for sharded scheduling.
 
-    Unlike :class:`ScheduleFanout` (fresh graph blob per pool, deletion
+    Unlike :class:`ScheduleFanout` (fresh base graph per pool, deletion
     log replayed per call), each worker here *owns* its shards'
-    partitions for the lifetime of the schedule: the blobs ship once at
-    startup and every subsequent message is boundary-band rows.  Shards
-    are assigned to workers contiguously by index
-    (:func:`chunk_evenly`), and all merge points key on shard index, so
-    results are identical at any worker count — including the in-process
-    backend at ``workers=1``.
+    partitions for the lifetime of the schedule: the partitions ship
+    once at startup and every subsequent message is boundary-band rows.
+    The startup transport is picked here: shared-memory CSR segments
+    when ``REPRO_SHM`` is on and the host supports them (workers attach
+    read-only; this pool owns the segments and unlinks them in
+    :meth:`close`), pickled partition parts otherwise.  Shards are
+    assigned to workers contiguously by index (:func:`chunk_evenly`),
+    and all merge points key on shard index, so results are identical
+    at any worker count — including the in-process backend at
+    ``workers=1``.
     """
 
     def __init__(
         self,
-        blobs: Sequence[bytes],
+        graph,
+        specs: Sequence[Any],
         tau: int,
         workers: int,
         capture: bool = False,
     ) -> None:
+        from repro.shard.plan import partition_parts
+
         if workers < 2:
             raise ValueError("ShardWorkerPool needs at least 2 workers")
-        inits = list(enumerate(blobs))
+        self._segments: List[SharedBlocks] = []
+        if shm_enabled() and shm_available():
+            sources: List[Any] = []
+            for spec in specs:
+                segment = publish_partition(graph, spec)
+                self._segments.append(segment)
+                sources.append(ShmSource(segment.descriptor))
+        else:
+            sources = [partition_parts(graph, spec) for spec in specs]
+        inits = list(enumerate(sources))
         assignments = chunk_evenly(inits, workers)
         self._assigned: List[List[int]] = [
             [index for index, __ in chunk] for chunk in assignments
@@ -482,52 +543,34 @@ class ShardWorkerPool:
         return merged
 
     def begin_round(
-        self, owned_rows: List[list], halo_rows: List[list]
-    ) -> Dict[int, list]:
+        self,
+        batches: Dict[int, List[int]],
+        owned_rows: List[list],
+        halo_rows: List[list],
+    ) -> Dict[int, Any]:
         return self._merged(
             "begin",
             [
                 {
-                    index: (owned_rows[index], halo_rows[index])
+                    index: (
+                        batches.get(index),
+                        owned_rows[index],
+                        halo_rows[index],
+                    )
                     for index in assigned
                 }
                 for assigned in self._assigned
             ],
         )
 
-    def absorb_verdicts(self, deliveries: Dict[int, list]) -> None:
-        self._roundtrip(
-            "verdicts",
-            [
-                {index: deliveries.get(index, []) for index in assigned}
-                for assigned in self._assigned
-            ],
-        )
-
-    def mis_subround(self) -> Dict[int, Any]:
-        return self._merged("subround", [None] * len(self._conns))
-
-    def apply_status(self, deliveries: Dict[int, list]) -> None:
-        self._roundtrip(
-            "status",
+    def mis_subround(self, deliveries: Dict[int, list]) -> Dict[int, Any]:
+        return self._merged(
+            "subround",
             [
                 {
                     index: deliveries[index]
                     for index in assigned
                     if index in deliveries
-                }
-                for assigned in self._assigned
-            ],
-        )
-
-    def apply_deletions(self, batches: Dict[int, List[int]]) -> None:
-        self._roundtrip(
-            "apply",
-            [
-                {
-                    index: batches[index]
-                    for index in assigned
-                    if batches.get(index)
                 }
                 for assigned in self._assigned
             ],
@@ -548,6 +591,9 @@ class ShardWorkerPool:
                 proc.terminate()
         for conn in self._conns:
             conn.close()
+        for segment in self._segments:
+            segment.close()
+        self._segments = []
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

@@ -1,0 +1,198 @@
+"""Shared-memory graph segments for worker startup (publish side).
+
+The worker pools ship their base graph exactly once — but "ship" means
+pickling a compact vertex/edge tuple through a pipe and unpickling it in
+every worker.  At fan-out scale that serialization is pure overhead: the
+payload is immutable for the whole schedule (rounds send only deletion
+logs and boundary rows, replayed into each worker's *private* engine
+state), which is exactly the shape POSIX shared memory is for.  This
+module publishes the base graph as one
+:mod:`multiprocessing.shared_memory` segment per partition, laid out as
+named ``int64`` blocks in CSR form:
+
+``indptr``/``indices``
+    the sorted-id CSR adjacency of the partition (or whole graph);
+``owned``/``halo``/``boundary``
+    the shard's membership id arrays (absent for whole-graph segments);
+``ids``
+    the sorted vertex ids the CSR slots refer to (whole-graph segments).
+
+Workers receive only a tiny picklable *descriptor* — segment name plus
+the ``(field, offset, length)`` layout — and attach read-only through
+:mod:`repro.shard.segment`, the consumer half (kept separate so
+shard-local code never imports coordinator-scope modules; REPRO113).
+
+Lifecycle and ownership (DESIGN.md section 10): the **coordinator** owns
+every segment — it creates them before the pool starts and unlinks them
+in ``close()`` on every exit path.  **Workers** never create or unlink;
+they attach, copy what they need into private engine state, and drop
+the mapping.
+
+Everything here is gated behind ``REPRO_SHM`` (default **off**): the
+pickled-blob path remains the reference transport, and the property
+suite pins the two paths to identical schedules and counters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised by the import-time environment
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+try:  # pragma: no cover - stdlib, but guard exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+from repro.shard.segment import (  # noqa: F401  (re-exported)
+    Attachment,
+    ShmDescriptor,
+    ShmSource,
+    attach_blocks,
+    attach_partition,
+    graph_from_csr,
+)
+
+
+def shm_enabled() -> bool:
+    """Is the shared-memory transport requested (``REPRO_SHM``)?
+
+    Default **off**; ``""``, ``"0"``, ``"false"``, ``"off"`` (any case)
+    disable.  Read at call time so tests can flip it per case.  The
+    transport additionally requires numpy and a usable
+    ``shared_memory`` module — callers combine this with
+    :func:`shm_available`.
+    """
+    value = os.environ.get("REPRO_SHM", "")
+    return value.strip().lower() not in ("", "0", "false", "off")
+
+
+def shm_available() -> bool:
+    """Can shared segments actually be published on this host?"""
+    return np is not None and shared_memory is not None
+
+
+class SharedBlocks:
+    """Coordinator-side handle for one published segment.
+
+    Create with :func:`publish_blocks`; hand :attr:`descriptor` to the
+    workers; call :meth:`close` (idempotent) when the pool shuts down —
+    it both drops this process's mapping and unlinks the segment.
+    """
+
+    def __init__(self, segment, descriptor: ShmDescriptor) -> None:
+        self._segment = segment
+        self.descriptor = descriptor
+
+    def close(self) -> None:
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedBlocks":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def publish_blocks(
+    blocks: Sequence[Tuple[str, Sequence[int]]]
+) -> SharedBlocks:
+    """Publish named ``int64`` blocks as one shared segment.
+
+    ``blocks`` is ``[(field, values), ...]``; values are copied into the
+    segment back to back and the returned handle's descriptor records
+    the layout.  Raises :class:`RuntimeError` when the host cannot
+    publish (callers should gate on :func:`shm_available`).
+    """
+    if not shm_available():  # pragma: no cover - guarded by callers
+        raise RuntimeError("shared-memory transport unavailable")
+    arrays = [
+        (field, np.ascontiguousarray(values, dtype=np.int64))
+        for field, values in blocks
+    ]
+    total = sum(array.size for __, array in arrays)
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(total, 1) * 8
+    )
+    view = np.ndarray((total,), dtype=np.int64, buffer=segment.buf)
+    layout: List[Tuple[str, int, int]] = []
+    offset = 0
+    for field, array in arrays:
+        view[offset : offset + array.size] = array
+        layout.append((field, offset, array.size))
+        offset += array.size
+    return SharedBlocks(segment, (segment.name, tuple(layout)))
+
+
+# ----------------------------------------------------------------------
+# Graph -> CSR block conversions (publish side)
+# ----------------------------------------------------------------------
+def csr_blocks(graph, vertices: Optional[Sequence[int]] = None):
+    """``(ids, indptr, indices)`` of ``graph`` over sorted ``vertices``.
+
+    Slots are ranks in the sorted id list (the same order the topology
+    kernel assigns), ``indices`` holds neighbour *slots* sorted within
+    each row — a canonical, comparison-stable layout.
+    """
+    ids = sorted(graph.vertices() if vertices is None else vertices)
+    rank = {v: slot for slot, v in enumerate(ids)}
+    indptr = [0]
+    indices: List[int] = []
+    for v in ids:
+        row = sorted(rank[u] for u in graph.neighbors(v) if u in rank)
+        indices.extend(row)
+        indptr.append(len(indices))
+    return ids, indptr, indices
+
+
+def publish_partition(graph, spec) -> SharedBlocks:
+    """Publish one shard's partition as a shared CSR segment."""
+    members = sorted(spec.members)
+    __, indptr, indices = csr_blocks(graph, members)
+    return publish_blocks(
+        [
+            ("owned", spec.owned),
+            ("halo", spec.halo),
+            ("boundary", spec.boundary),
+            ("indptr", indptr),
+            ("indices", indices),
+        ]
+    )
+
+
+def publish_graph(graph) -> SharedBlocks:
+    """Publish a whole graph as a shared CSR segment (schedule fan-out)."""
+    ids, indptr, indices = csr_blocks(graph)
+    return publish_blocks(
+        [("ids", ids), ("indptr", indptr), ("indices", indices)]
+    )
+
+
+def graph_from_blocks(blocks: Dict[str, "np.ndarray"]):
+    """Rebuild the fan-out base graph from attached blocks."""
+    return graph_from_csr(
+        blocks["ids"], blocks["indptr"], blocks["indices"]
+    )
+
+
+def attach_graph(descriptor: ShmDescriptor):
+    """Attach, copy out a whole graph, and unmap (schedule fan-out)."""
+    blocks, attachment = attach_blocks(descriptor)
+    try:
+        return graph_from_blocks(blocks)
+    finally:
+        del blocks
+        attachment.close()

@@ -26,6 +26,7 @@ from repro.shard.plan import (
     ShardSpec,
     build_shard_plan,
     partition_blob,
+    partition_parts,
 )
 from repro.shard.scheduler import ShardStats, sharded_dcc_schedule
 
@@ -36,5 +37,6 @@ __all__ = [
     "ShardStats",
     "build_shard_plan",
     "partition_blob",
+    "partition_parts",
     "sharded_dcc_schedule",
 ]

@@ -92,12 +92,15 @@ class ShardPlan:
         return [set(spec.members) for spec in self.specs]
 
 
-def partition_blob(graph: NetworkGraph, spec: ShardSpec) -> bytes:
-    """A shard's partition serialized as plain lists (no object graph).
+def partition_parts(
+    graph: NetworkGraph, spec: ShardSpec
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], Tuple]:
+    """A shard's partition as plain tuples (no object graph).
 
-    The vertex list keeps the owned-before-halo order so the rebuilt
-    partition graph (and its CSR mirror) exposes contiguous owned/halo
-    slot ranges; edges are the induced edges, sorted.
+    ``(owned, halo, boundary, induced edges sorted)`` — the in-process
+    transport: the inline backend hands this straight to
+    :class:`~repro.shard.runtime.LocalShard`, and the pickled and
+    shared-memory transports both derive from it.
     """
     members = set(spec.members)
     edges: List[Tuple[int, int]] = []
@@ -106,9 +109,13 @@ def partition_blob(graph: NetworkGraph, spec: ShardSpec) -> bytes:
             if u < v and v in members:
                 edges.append((u, v))
     edges.sort()
+    return (spec.owned, spec.halo, spec.boundary, tuple(edges))
+
+
+def partition_blob(graph: NetworkGraph, spec: ShardSpec) -> bytes:
+    """:func:`partition_parts`, pickled (the cross-process byte blob)."""
     return pickle.dumps(
-        (spec.owned, spec.halo, spec.boundary, tuple(edges)),
-        protocol=pickle.HIGHEST_PROTOCOL,
+        partition_parts(graph, spec), protocol=pickle.HIGHEST_PROTOCOL
     )
 
 

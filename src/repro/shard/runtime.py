@@ -11,63 +11,85 @@ methods.  The REPRO113 lint rule enforces that discipline statically
 deletability verdict outside the owned region raises
 :class:`~repro.topology.OwnedRegionError`.
 
-The MIS the shards compute together is the *local-minimum fixpoint*
-formulation of the scheduler's greedy draw: a candidate wins once every
-smaller-priority competitor within the separation radius has lost, and
-loses once any such competitor has won.  Decisions are taken against a
-snapshot per sub-round and applied at the barrier, so the fixpoint —
-and therefore the deletion schedule — is vertex-identical to the
-unsharded engine's at the same priority draw.
+The MIS the shards compute together is the wave formulation of the
+scheduler's greedy draw (:class:`~repro.topology.mis.WaveMIS`): each
+sub-round decides, against the statuses frozen at the barrier, every
+candidate whose smaller-priority competitors within the separation
+radius are all settled — blocked candidates lose without a test, and
+the shard runs deletability tests *only* for the owned candidates whose
+verdict is actually due.  A boundary candidate is therefore tested by
+exactly one shard (its owner), and the union of tests across shards and
+sub-rounds equals the serial lazy scan's tested set — the eager
+per-round verdict sweep (and its cross-shard redundancy) is gone.
+Decisions apply at the barrier, so the fixpoint — and the deletion
+schedule — is vertex-identical to the unsharded engine's at the same
+priority draw.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cycles.batch import batch_verdicts_enabled
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.shard.segment import ShmSource, attach_partition
 from repro.topology import LocalTopologyEngine
-
-#: MIS statuses; plain ints so status rows pickle small.
-UNDECIDED, WINNER, LOSER = 0, 1, 2
+from repro.topology.mis import LOSER, UNDECIDED, WINNER, WaveMIS
 
 StatusRow = Tuple[int, int]  # (vertex, status)
-VerdictRow = Tuple[int, bool]  # (vertex, deletable)
 PriorityRow = Tuple[int, int]  # (vertex, priority index)
 
 
 class LocalShard:
-    """One shard's partition engine and per-round MIS state."""
+    """One shard's partition engine and per-round MIS state.
+
+    ``source`` is any of the three partition transports, normalised
+    here: a pickled blob (:func:`~repro.shard.plan.partition_blob`), a
+    plain parts tuple (:func:`~repro.shard.plan.partition_parts`, the
+    inline backend's zero-copy hand-off), or a
+    :class:`~repro.parallel.shm.ShmSource` descriptor for a shared CSR
+    segment (attached read-only under a ``shm.attach`` span, copied
+    into the private engine, then unmapped — the coordinator owns the
+    segment's lifetime).
+    """
 
     def __init__(
-        self, index: int, tau: int, blob: bytes, capture: bool = False
+        self, index: int, tau: int, source, capture: bool = False
     ) -> None:
-        owned, halo, boundary, edges = pickle.loads(blob)
-        partition = NetworkGraph(owned + halo)
-        for u, v in edges:
-            partition.add_edge(u, v)
         self.index = index
+        self.tracer = Tracer() if capture else NULL_TRACER
+        if isinstance(source, (bytes, bytearray)):
+            source = pickle.loads(source)
+        if isinstance(source, ShmSource):
+            with self.tracer.trace("shm.attach", shard=index):
+                owned, halo, boundary, partition = attach_partition(
+                    source.descriptor
+                )
+        else:
+            owned, halo, boundary, edges = source
+            partition = NetworkGraph(tuple(owned) + tuple(halo))
+            for u, v in edges:
+                partition.add_edge(u, v)
         self.owned = tuple(owned)
         self.halo = tuple(halo)
         # The CSR mirror assigns slots in sorted-id order, so owned and
         # halo slots interleave; expose them as rank-derived sets.
-        rank = {v: i for i, v in enumerate(sorted(owned + halo))}
-        self.owned_slots = frozenset(rank[v] for v in owned)
-        self.halo_slots = frozenset(rank[v] for v in halo)
+        rank = {v: i for i, v in enumerate(sorted(self.owned + self.halo))}
+        self.owned_slots = frozenset(rank[v] for v in self.owned)
+        self.halo_slots = frozenset(rank[v] for v in self.halo)
+        self._owned_set = frozenset(self.owned)
         self._boundary = frozenset(boundary)
-        self.tracer = Tracer() if capture else NULL_TRACER
         self.engine = LocalTopologyEngine(
             partition,
             tau,
-            owned=frozenset(owned),
+            owned=self._owned_set,
             tracer=self.tracer if capture else None,
         )
         self._radius = self.engine.radius
-        self._prio: Dict[int, int] = {}
-        self._status: Dict[int, int] = {}
-        self._undecided: List[int] = []
-        self._competitors: Dict[int, List[int]] = {}
+        self._use_batch = batch_verdicts_enabled()
+        self._mis: Optional[WaveMIS] = None
 
     # ------------------------------------------------------------------
     # Round protocol (driven by the coordinator / worker loop)
@@ -76,100 +98,69 @@ class LocalShard:
         self,
         owned_rows: Sequence[PriorityRow],
         halo_rows: Sequence[PriorityRow],
-    ) -> List[VerdictRow]:
-        """Start a round: eager verdicts for the owned candidates.
+    ) -> None:
+        """Start a round: freeze the wave-MIS view of this partition.
 
         ``owned_rows`` / ``halo_rows`` carry the global priority draw
         restricted to this shard's candidates (owned region and halo
-        band).  Returns the boundary-band verdict rows to export; the
-        interior verdicts never leave the shard.
+        band).  No verdict is computed here — tests happen lazily in
+        :meth:`mis_subround`, only for owned candidates whose wave has
+        arrived.
         """
-        self._prio = {}
-        self._status = {}
-        self._undecided = []
-        self._competitors = {}
-        for v, priority in halo_rows:
-            self._prio[v] = priority
-        exported: List[VerdictRow] = []
-        with self.tracer.trace(
-            "shard.verdicts", shard=self.index, candidates=len(owned_rows)
-        ):
-            for v, priority in owned_rows:
-                self._prio[v] = priority
-                verdict = self.engine.deletable(v)
-                if verdict:
-                    self._status[v] = UNDECIDED
-                    self._undecided.append(v)
-                if v in self._boundary:
-                    exported.append((v, verdict))
-        return exported
-
-    def absorb_verdicts(self, rows: Sequence[VerdictRow]) -> None:
-        """Record halo candidates' verdicts, then freeze competitor lists.
-
-        A competitor of an owned candidate ``v`` is any deletable
-        candidate with smaller priority within the separation radius;
-        by the halo-sufficiency invariant every such vertex is inside
-        the partition, so the lists are complete.
-        """
-        for v, verdict in rows:
-            if verdict:
-                self._status[v] = UNDECIDED
-        status = self._status
-        prio = self._prio
-        for v in self._undecided:
-            mine = prio[v]
-            self._competitors[v] = [
-                u
-                for u in sorted(self.engine.ball(v, self._radius))
-                if u != v and u in status and prio[u] < mine
-            ]
+        rows = list(owned_rows)
+        rows.extend(halo_rows)
+        self._mis = WaveMIS(
+            self.engine.kernel, rows, self._radius, owned=self._owned_set
+        )
 
     def mis_subround(self) -> Tuple[List[int], List[StatusRow], int]:
-        """One snapshot-semantics sub-round of the local-minimum MIS.
+        """Run MIS waves until this shard needs foreign input.
 
-        Against the statuses frozen at entry: a candidate loses if any
-        smaller-priority competitor already won, stays undecided while
-        one is still open, and wins once all of them have lost.
-        Decisions apply locally at exit (the barrier); foreign
-        boundary-band decisions arrive via :meth:`apply_status` before
-        the next sub-round.  Returns ``(winners, exported status rows,
+        Each wave decides, against the statuses at its entry, every
+        candidate whose smaller-priority competitors within the
+        separation radius are settled: candidates inside a winner's
+        radius lose outright, and owned candidates whose verdict is due
+        take their deletability test (winner iff deletable).  The
+        greedy-MIS fixpoint is monotone, so interior chains may resolve
+        locally without waiting for the barrier — the loop steps until
+        no further local progress is possible, which happens only when
+        every remaining owned candidate waits on a foreign decision.
+        Those arrive via :meth:`apply_status` before the next
+        sub-round.  Returns ``(winners, exported status rows, owned
         undecided remaining)``.
         """
-        status = self._status
-        decided: List[StatusRow] = []
-        for v in self._undecided:
-            stay = False
-            outcome = WINNER
-            for u in self._competitors[v]:
-                other = status[u]
-                if other == WINNER:
-                    outcome = LOSER
-                    stay = False
-                    break
-                if other == UNDECIDED:
-                    stay = True
-            if not stay:
-                decided.append((v, outcome))
-        winners: List[int] = []
+        mis = self._mis
+        boundary = self._boundary
         exported: List[StatusRow] = []
-        if decided:
-            decided_set = {v for v, _ in decided}
-            self._undecided = [
-                v for v in self._undecided if v not in decided_set
-            ]
-            for v, outcome in decided:
-                status[v] = outcome
-                if outcome == WINNER:
-                    winners.append(v)
-                if v in self._boundary:
-                    exported.append((v, outcome))
-        return winners, exported, len(self._undecided)
+        winners: List[int] = []
+        while True:
+            testable, blocked = mis.step()
+            exported.extend((v, LOSER) for v in blocked if v in boundary)
+            if testable:
+                with self.tracer.trace(
+                    "shard.verdicts",
+                    shard=self.index,
+                    candidates=len(testable),
+                ):
+                    if self._use_batch:
+                        verdicts = self.engine.span_verdicts_batch(testable)
+                    else:
+                        verdicts = [self.engine.deletable(v) for v in testable]
+                for v, verdict in zip(testable, verdicts):
+                    mis.record_verdict(v, verdict)
+                    if verdict:
+                        winners.append(v)
+                    if v in boundary:
+                        exported.append((v, WINNER if verdict else LOSER))
+            elif not blocked:
+                break
+        return winners, exported, mis.undecided_count()
 
     def apply_status(self, rows: Sequence[StatusRow]) -> None:
         """Apply foreign boundary-band decisions (the sub-round barrier)."""
+        mis = self._mis
         for v, outcome in rows:
-            self._status[v] = outcome
+            mis.apply_row(v, outcome)
 
     def apply_deletions(self, batch: Sequence[int]) -> None:
         """Delete the round's committed batch members held locally.

@@ -8,16 +8,16 @@ shards that communicate only boundary-band rows:
 
 1. **Priority broadcast.**  The global draw is restricted per shard to
    its owned candidates and its halo candidates and shipped as rows.
-2. **Eager verdicts.**  Each shard tests its owned candidates (pure
-   functions of the current graph, so eagerness cannot change the winner
-   set — the same argument :class:`~repro.parallel.runner.ScheduleFanout`
-   relies on) and exports boundary-band verdicts, which the
-   :class:`~repro.shard.halo.HaloExchange` routes to subscribers.
-3. **MIS sub-rounds.**  Shards run the local-minimum fixpoint of the
-   greedy MIS (see :mod:`repro.shard.runtime`) with a status barrier per
-   sub-round; the fixpoint is the greedy outcome, by induction over the
-   priority order.
-4. **Batch commit.**  Winners are merged and sorted by global priority —
+2. **MIS sub-rounds.**  Shards run the wave formulation of the greedy
+   MIS (see :mod:`repro.shard.runtime`) with a status barrier per
+   sub-round: each wave decides the candidates whose smaller-priority
+   competitors are settled, testing deletability only for owned
+   candidates whose verdict is due — a boundary candidate is tested by
+   exactly one shard, and boundary-band WINNER/LOSER rows are routed by
+   the :class:`~repro.shard.halo.HaloExchange` to subscribers.  The
+   fixpoint is the greedy outcome, by induction over the priority
+   order.
+3. **Batch commit.**  Winners are merged and sorted by global priority —
    exactly the serial append order — deleted from the coordinator's
    graph, and shipped to owners and halo subscribers.
 
@@ -33,12 +33,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import current_metrics, current_tracer
 from repro.shard.halo import HaloExchange
-from repro.shard.plan import ShardPlan, build_shard_plan, partition_blob
+from repro.shard.plan import ShardPlan, build_shard_plan, partition_parts
 from repro.topology import TopologyCounters
 
 
@@ -63,41 +63,36 @@ class _InlineBackend:
     """All shards hosted in this process (``workers=1``)."""
 
     def __init__(
-        self, blobs: List[bytes], tau: int, capture: bool
+        self, sources: List[Any], tau: int, capture: bool
     ) -> None:
         from repro.shard.runtime import LocalShard
 
         self._shards = [
-            LocalShard(index, tau, blob, capture=capture)
-            for index, blob in enumerate(blobs)
+            LocalShard(index, tau, source, capture=capture)
+            for index, source in enumerate(sources)
         ]
 
     def begin_round(
-        self, owned_rows: List[list], halo_rows: List[list]
-    ) -> Dict[int, list]:
-        return {
-            s.index: s.begin_round(owned_rows[s.index], halo_rows[s.index])
-            for s in self._shards
-        }
-
-    def absorb_verdicts(self, deliveries: Dict[int, list]) -> None:
-        for s in self._shards:
-            s.absorb_verdicts(deliveries.get(s.index, []))
-
-    def mis_subround(self) -> Dict[int, Tuple[list, list, int]]:
-        return {s.index: s.mis_subround() for s in self._shards}
-
-    def apply_status(self, deliveries: Dict[int, list]) -> None:
-        for s in self._shards:
-            rows = deliveries.get(s.index)
-            if rows:
-                s.apply_status(rows)
-
-    def apply_deletions(self, batches: Dict[int, List[int]]) -> None:
+        self,
+        batches: Dict[int, List[int]],
+        owned_rows: List[list],
+        halo_rows: List[list],
+    ) -> Dict[int, Tuple[list, list, int]]:
         for s in self._shards:
             batch = batches.get(s.index)
             if batch:
                 s.apply_deletions(batch)
+            s.begin_round(owned_rows[s.index], halo_rows[s.index])
+        return {s.index: s.mis_subround() for s in self._shards}
+
+    def mis_subround(
+        self, deliveries: Dict[int, list]
+    ) -> Dict[int, Tuple[list, list, int]]:
+        for s in self._shards:
+            rows = deliveries.get(s.index)
+            if rows:
+                s.apply_status(rows)
+        return {s.index: s.mis_subround() for s in self._shards}
 
     def finish(self) -> Dict[int, Tuple[dict, object]]:
         return {
@@ -148,13 +143,21 @@ def sharded_dcc_schedule(
     if missing:
         raise KeyError(f"protected nodes not in graph: {sorted(missing)[:5]}")
 
-    blobs = [partition_blob(graph, spec) for spec in plan.specs]
     capture = tracer.enabled
     pool_size = min(resolve_workers(workers), plan.shard_count)
     if pool_size > 1:
-        backend = ShardWorkerPool(blobs, tau, pool_size, capture=capture)
+        # The pool picks the cross-process transport (shared-memory CSR
+        # segments under REPRO_SHM, pickled parts otherwise) and owns
+        # any published segments until close().
+        backend = ShardWorkerPool(
+            graph, plan.specs, tau, pool_size, capture=capture
+        )
     else:
-        backend = _InlineBackend(blobs, tau, capture)
+        backend = _InlineBackend(
+            [partition_parts(graph, spec) for spec in plan.specs],
+            tau,
+            capture,
+        )
     exchange = HaloExchange(plan.subscribers)
     member_sets = plan.member_sets()
     owner = plan.owner
@@ -171,6 +174,7 @@ def sharded_dcc_schedule(
     removed: List[int] = []
     deletions_per_round: List[int] = []
     round_no = 0
+    pending: Dict[int, List[int]] = {}
     try:
         while True:
             round_start = perf_counter()
@@ -202,8 +206,13 @@ def sharded_dcc_schedule(
                             if rows
                         }
                     )
-                    exported = backend.begin_round(owned_rows, halo_rows)
-                    backend.absorb_verdicts(exchange.route(exported))
+                    # The previous round's committed deletions ride the
+                    # begin message (one roundtrip instead of two), and
+                    # the reply already carries the first sub-round.
+                    results = backend.begin_round(
+                        pending, owned_rows, halo_rows
+                    )
+                    pending = {}
                 with tracer.trace(
                     "scheduler.mis_draw", round=round_no
                 ) as draw:
@@ -211,7 +220,6 @@ def sharded_dcc_schedule(
                     subrounds = 0
                     while True:
                         subrounds += 1
-                        results = backend.mis_subround()
                         statuses: Dict[int, list] = {}
                         undecided_total = 0
                         for index in sorted(results):
@@ -222,7 +230,11 @@ def sharded_dcc_schedule(
                             undecided_total += undecided
                         if undecided_total == 0:
                             break
-                        backend.apply_status(exchange.route(statuses))
+                        # Foreign statuses piggyback on the next request:
+                        # one roundtrip per barrier instead of two.
+                        results = backend.mis_subround(
+                            exchange.route(statuses)
+                        )
                     batch = sorted(winners, key=prio.__getitem__)
                     draw.set(winners=len(batch), subrounds=subrounds)
                 stats.subrounds_per_round.append(subrounds)
@@ -236,14 +248,10 @@ def sharded_dcc_schedule(
                         work.remove_vertex(v)
                         removed.append(v)
                     exchange.route_deletions(batch)
-                    backend.apply_deletions(
-                        {
-                            index: [
-                                v for v in batch if v in member_sets[index]
-                            ]
-                            for index in range(plan.shard_count)
-                        }
-                    )
+                    pending = {
+                        index: [v for v in batch if v in member_sets[index]]
+                        for index in range(plan.shard_count)
+                    }
                 deletions_per_round.append(len(batch))
             rows, nbytes = exchange.end_round()
             if metrics is not None:

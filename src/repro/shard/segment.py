@@ -1,0 +1,158 @@
+"""Shard-side attachment of shared partition segments.
+
+The coordinator publishes each shard's partition as one
+:mod:`multiprocessing.shared_memory` segment of named ``int64`` blocks
+(see :mod:`repro.parallel.shm` for the publish side, the layout, and
+the lifecycle contract).  This module is the *consumer* half, and it is
+deliberately the only shared-memory code a shard may import: attaching
+a segment hands the shard exactly its own owned/halo membership and
+induced CSR adjacency — the same bytes a pickled partition blob would
+carry — never a path back to coordinator-scope state, so the REPRO113
+locality lint stays satisfiable.
+
+Attachment maps ``/dev/shm/<name>`` directly with :mod:`mmap` where
+available: on CPython < 3.13,
+:class:`~multiprocessing.shared_memory.SharedMemory` registers *every*
+attachment with the per-process ``resource_tracker``, which then
+unlinks segments still in use when the first worker exits.  The mmap
+path never touches the tracker; the ``SharedMemory`` attach is kept as
+a fallback for hosts without a ``/dev/shm`` tmpfs.  Workers copy what
+they need into private engine state and unmap immediately — every
+numpy view on the mapping must be dropped before the buffer closes
+(``mmap`` refuses to close with exported pointers), which is why the
+copy-then-unmap order lives in :func:`attach_partition` rather than at
+each call site.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Dict, Tuple
+
+try:  # pragma: no cover - exercised by the import-time environment
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+try:  # pragma: no cover - stdlib, but guard exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+#: ``(segment name, ((field, offset items, length items), ...))`` —
+#: everything a worker needs to attach, small enough to ride any pipe.
+ShmDescriptor = Tuple[str, Tuple[Tuple[str, int, int], ...]]
+
+
+class ShmSource:
+    """Tagged descriptor: 'build your partition from this segment'.
+
+    A tiny picklable wrapper so receivers can distinguish a
+    shared-memory source from a pickled-parts source by type alone.
+    """
+
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor: ShmDescriptor) -> None:
+        self.descriptor = descriptor
+
+    def __getstate__(self):
+        return self.descriptor
+
+    def __setstate__(self, state):
+        self.descriptor = state
+
+
+class Attachment:
+    """A worker's read-only view of a segment (close after copying)."""
+
+    def __init__(self, buffer, closer) -> None:
+        self.buffer = buffer
+        self._closer = closer
+
+    def close(self) -> None:
+        closer, self._closer = self._closer, None
+        if closer is not None:
+            closer()
+
+
+def _map_readonly(name: str, nbytes: int) -> Attachment:
+    """Map a segment read-only without the resource tracker.
+
+    Prefers a direct ``mmap`` of ``/dev/shm/<name>`` (Linux tmpfs);
+    falls back to a ``SharedMemory`` attach elsewhere — acceptable for
+    the fallback because non-Linux hosts are not the perf target and
+    the coordinator outlives its workers in every pool here.
+    """
+    path = f"/dev/shm/{name.lstrip('/')}"
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        segment = shared_memory.SharedMemory(name=name)
+        return Attachment(segment.buf, segment.close)
+    try:
+        mapped = mmap.mmap(fd, nbytes, access=mmap.ACCESS_READ)
+    finally:
+        os.close(fd)
+    return Attachment(mapped, mapped.close)
+
+
+def attach_blocks(
+    descriptor: ShmDescriptor,
+) -> Tuple[Dict[str, "np.ndarray"], Attachment]:
+    """Attach a published segment and slice out its named blocks.
+
+    Returns ``(blocks, attachment)``: read-only ``int64`` views keyed by
+    field name, plus the attachment keeping them alive — close it once
+    the data has been copied into private structures (the views die with
+    it).
+    """
+    name, layout = descriptor
+    total = sum(length for __, __, length in layout)
+    attachment = _map_readonly(name, max(total, 1) * 8)
+    base = np.frombuffer(attachment.buffer, dtype=np.int64, count=total)
+    blocks = {
+        field: base[offset : offset + length]
+        for field, offset, length in layout
+    }
+    return blocks, attachment
+
+
+def graph_from_csr(ids, indptr, indices):
+    """Rebuild a :class:`NetworkGraph` from CSR blocks (upper triangle)."""
+    from repro.network.graph import NetworkGraph
+
+    ids = [int(v) for v in ids]
+    graph = NetworkGraph(ids)
+    bounds = [int(i) for i in indptr]
+    flat = [int(j) for j in indices]
+    for slot, u in enumerate(ids):
+        for j in flat[bounds[slot] : bounds[slot + 1]]:
+            if slot < j:
+                graph.add_edge(u, ids[j])
+    return graph
+
+
+def partition_from_blocks(blocks: Dict[str, "np.ndarray"]):
+    """``(owned, halo, boundary, partition graph)`` from attached blocks."""
+    owned = tuple(int(v) for v in blocks["owned"])
+    halo = tuple(int(v) for v in blocks["halo"])
+    boundary = tuple(int(v) for v in blocks["boundary"])
+    ids = sorted(owned + halo)
+    graph = graph_from_csr(ids, blocks["indptr"], blocks["indices"])
+    return owned, halo, boundary, graph
+
+
+def attach_partition(descriptor: ShmDescriptor):
+    """Attach, copy out a partition, and unmap — the worker-side dance.
+
+    Returns ``(owned, halo, boundary, partition graph)`` built from
+    private copies; no view on the mapping survives the call.
+    """
+    blocks, attachment = attach_blocks(descriptor)
+    try:
+        return partition_from_blocks(blocks)
+    finally:
+        del blocks
+        attachment.close()

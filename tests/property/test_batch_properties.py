@@ -1,0 +1,201 @@
+"""Property tests for the batched verdict kernel and the shm transport.
+
+Two contracts from the batch/shm PR:
+
+* **Batch == scalar.**  ``span_verdict_batch`` answers Definition 5 for
+  a whole wave; it must agree with the scalar kernel's per-candidate
+  ``span_connected_verdict`` bit for bit — on any graph, at any tau,
+  and at any point along a deletion schedule (stale-cache territory).
+  The engine-level entry point must likewise match a scalar engine's
+  ``deletable`` answers exactly.
+* **Shm round-trip identity.**  Publishing a partition (or a whole
+  graph) as a shared CSR segment and attaching it back yields exactly
+  the tuples the pickled-blob transport carries — and a
+  :class:`LocalShard` built from either transport behaves identically:
+  same sub-round decisions, same exports, same counters after replaying
+  the same deletions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.cycles.batch as batch_mod
+from repro.cycles.batch import numpy_available, span_verdict_batch
+from repro.network.graph import NetworkGraph
+from repro.shard import build_shard_plan
+from repro.shard.plan import partition_blob, partition_parts
+from repro.shard.runtime import LocalShard
+from repro.topology import LocalTopologyEngine
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="batch kernel requires numpy"
+)
+
+
+def _random_graph(seed: int, nodes: int, density: float) -> NetworkGraph:
+    rng = random.Random(seed)
+    graph = NetworkGraph(range(nodes))
+    for u in range(nodes):
+        for v in range(u + 1, nodes):
+            if rng.random() < density:
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def random_graphs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    nodes = draw(st.integers(min_value=6, max_value=24))
+    density = draw(st.sampled_from((0.15, 0.3, 0.5)))
+    return _random_graph(seed, nodes, density)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _always_pack():
+    # The packed pipeline only engages on fat waves; zero the floor so
+    # these small graphs actually exercise it rather than the scalar
+    # fallback.  (Module-scoped by hand: hypothesis rejects
+    # function-scoped fixtures under @given.)
+    previous = batch_mod.BATCH_MIN_CANDIDATES
+    batch_mod.BATCH_MIN_CANDIDATES = 0
+    yield
+    batch_mod.BATCH_MIN_CANDIDATES = previous
+
+
+class TestBatchMatchesScalar:
+    @given(
+        random_graphs(),
+        st.sampled_from((3, 4, 5)),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_batch_equals_scalar_under_deletions(
+        self, graph, tau, seed
+    ):
+        """Whole-wave verdicts == scalar verdicts along a deletion path."""
+        engine = LocalTopologyEngine(graph, tau, use_kernel=True)
+        kernel = engine.kernel
+        rng = random.Random(seed)
+        while True:
+            alive = sorted(engine.graph.vertices())
+            if len(alive) <= 2:
+                break
+            waves = [
+                kernel.punctured_ball_slots(v, engine.radius) for v in alive
+            ]
+            batch = span_verdict_batch(kernel, waves, tau)
+            scalar = [
+                kernel.span_connected_verdict(list(w), tau) for w in waves
+            ]
+            assert batch == scalar
+            # Extend the deletion prefix and re-check on the mutated
+            # graph (exercises the per-kernel adjacency caches across
+            # edge-structure versions).
+            victims = rng.sample(alive, k=min(len(alive) - 2, 3))
+            for v in victims:
+                engine.delete_vertex(v)
+
+    @given(random_graphs(), st.sampled_from((3, 4, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_batch_entry_point_matches_deletable(self, graph, tau):
+        """``span_verdicts_batch`` == ``deletable``, caches and all."""
+        batch_eng = LocalTopologyEngine(graph.copy(), tau, use_kernel=True)
+        scalar_eng = LocalTopologyEngine(graph.copy(), tau, use_kernel=True)
+        vertices = sorted(graph.vertices())
+        # Twice: the second pass answers from the verdict cache.
+        for _ in range(2):
+            batched = batch_eng.span_verdicts_batch(vertices)
+            scalar = [scalar_eng.deletable(v) for v in vertices]
+            assert batched == scalar
+        assert (
+            batch_eng.counters.deletability_tests
+            == scalar_eng.counters.deletability_tests
+        )
+
+
+class TestShmRoundTrip:
+    @given(
+        random_graphs(),
+        st.sampled_from((3, 4)),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_segment_round_trip_matches_pickled_parts(
+        self, graph, tau, shards
+    ):
+        """attach(publish(partition)) == the pickled-blob tuples."""
+        from repro.parallel.shm import (
+            attach_graph,
+            publish_graph,
+            publish_partition,
+            shm_available,
+        )
+        from repro.shard.segment import attach_partition
+
+        if not shm_available():
+            pytest.skip("shared memory unavailable on this host")
+        plan = build_shard_plan(graph, tau, shards)
+        for spec in plan.specs:
+            owned, halo, boundary, edges = partition_parts(graph, spec)
+            segment = publish_partition(graph, spec)
+            try:
+                a_owned, a_halo, a_boundary, a_graph = attach_partition(
+                    segment.descriptor
+                )
+            finally:
+                segment.close()
+            assert a_owned == tuple(owned)
+            assert a_halo == tuple(halo)
+            assert a_boundary == tuple(boundary)
+            assert sorted(a_graph.vertices()) == sorted(owned + halo)
+            assert sorted(a_graph.edges()) == sorted(edges)
+        segment = publish_graph(graph)
+        try:
+            round_tripped = attach_graph(segment.descriptor)
+        finally:
+            segment.close()
+        assert sorted(round_tripped.vertices()) == sorted(graph.vertices())
+        assert sorted(round_tripped.edges()) == sorted(graph.edges())
+
+    @given(
+        random_graphs(),
+        st.sampled_from((3, 4)),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shard_behaves_identically_from_either_transport(
+        self, graph, tau, seed
+    ):
+        """blob-built vs shm-built LocalShard: same rounds, same counters."""
+        from repro.parallel.shm import publish_partition, shm_available
+        from repro.shard.segment import ShmSource
+
+        if not shm_available():
+            pytest.skip("shared memory unavailable on this host")
+        plan = build_shard_plan(graph, tau, shards=2)
+        spec = plan.specs[0]
+        segment = publish_partition(graph, spec)
+        try:
+            from_blob = LocalShard(0, tau, partition_blob(graph, spec))
+            from_shm = LocalShard(0, tau, ShmSource(segment.descriptor))
+        finally:
+            segment.close()
+        rng = random.Random(seed)
+        order = list(spec.members)
+        rng.shuffle(order)
+        rows = [(v, position) for position, v in enumerate(order)]
+        owned = set(spec.owned)
+        owned_rows = [r for r in rows if r[0] in owned]
+        halo_rows = [r for r in rows if r[0] not in owned]
+        for shard in (from_blob, from_shm):
+            shard.begin_round(owned_rows, halo_rows)
+        result_blob = from_blob.mis_subround()
+        result_shm = from_shm.mis_subround()
+        assert result_blob == result_shm
+        winners = result_blob[0]
+        for shard in (from_blob, from_shm):
+            shard.apply_deletions(winners)
+        assert from_blob.counters_snapshot() == from_shm.counters_snapshot()

@@ -75,6 +75,22 @@ class TestUnseededRng:
         )
         assert [f.rule for f in findings if f.rule == "REPRO101"] == ["REPRO101"] * 3
 
+    def test_seeded_constructions_pass(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+            r = random.Random(7)
+            x = r.random()
+            """,
+        )
+        assert not [f for f in findings if f.rule == "REPRO101"]
+
+
+# ----------------------------------------------------------------------
+# REPRO109: unseeded numpy.random
+# ----------------------------------------------------------------------
+class TestNumpyRng:
     def test_flags_numpy_global_rng(self, tmp_path):
         findings = lint_source(
             tmp_path,
@@ -82,22 +98,48 @@ class TestUnseededRng:
             import numpy as np
             a = np.random.rand(3)
             rng = np.random.default_rng()
+            np.random.seed(0)
             """,
         )
-        assert len([f for f in findings if f.rule == "REPRO101"]) == 2
+        assert len([f for f in findings if f.rule == "REPRO109"]) == 3
+        assert not [f for f in findings if f.rule == "REPRO101"]
 
-    def test_seeded_constructions_pass(self, tmp_path):
+    def test_none_seed_is_unseeded(self, tmp_path):
         findings = lint_source(
             tmp_path,
             """
-            import random
             import numpy as np
-            r = random.Random(7)
-            x = r.random()
-            rng = np.random.default_rng(3)
+            a = np.random.default_rng(None)
+            b = np.random.default_rng(seed=None)
             """,
         )
-        assert not [f for f in findings if f.rule == "REPRO101"]
+        assert len([f for f in findings if f.rule == "REPRO109"]) == 2
+
+    def test_generator_over_unseeded_bit_generator(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            bad = np.random.Generator(np.random.PCG64())
+            empty = np.random.Generator()
+            """,
+        )
+        assert len([f for f in findings if f.rule == "REPRO109"]) == 3
+        # PCG64() is flagged on its own and as the Generator's source.
+
+    def test_seeded_numpy_constructions_pass(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng(3)
+            b = default_rng(seed=11)
+            c = np.random.Generator(np.random.PCG64(7))
+            d = np.random.SeedSequence(5)
+            """,
+        )
+        assert not [f for f in findings if f.rule == "REPRO109"]
 
 
 # ----------------------------------------------------------------------
