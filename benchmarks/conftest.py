@@ -14,6 +14,7 @@ from typing import Any, Dict
 
 import pytest
 
+from repro.obs.bench import stamp_entry
 from repro.obs.export import merge_json_entry
 from repro.traces.greenorbs import GreenOrbsConfig, generate_greenorbs_trace
 
@@ -66,7 +67,10 @@ def bench_record():
     """
 
     def record(name: str, entry: Dict[str, Any]) -> None:
-        merge_json_entry(BENCH_KERNEL_JSON, name, entry)
+        # Every recorded entry carries the repro.bench/v2 environment
+        # fingerprint so `repro-bench diff` can tell comparable numbers
+        # from cross-machine ones.
+        merge_json_entry(BENCH_KERNEL_JSON, name, stamp_entry(entry))
 
     return record
 
@@ -81,6 +85,6 @@ def shard_bench_record():
     """
 
     def record(name: str, entry: Dict[str, Any]) -> None:
-        merge_json_entry(BENCH_SHARD_JSON, name, entry)
+        merge_json_entry(BENCH_SHARD_JSON, name, stamp_entry(entry))
 
     return record

@@ -192,7 +192,9 @@ def run_sweep(
     target.mkdir(parents=True, exist_ok=True)
     write_run_report(report, str(target / f"{report_name}.json"))
     if ambient_tracer.enabled:
-        ambient_tracer.import_spans(tracer.export_spans())
+        # v2 payload: the sweep's spans keep their true timeline offsets
+        # when merged into the ambient tracer (same-process epochs).
+        ambient_tracer.import_spans(tracer.export_payload())
     if ambient_metrics is not None:
         ambient_metrics.merge(metrics)
     return SweepResult(rows=rows)

@@ -921,6 +921,115 @@ class ShardLocalityRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REPRO114: hot-path trace calls must be guarded
+# ----------------------------------------------------------------------
+#: modules where tracing must cost one attribute probe when disabled
+_HOT_PATH_PARTS: Tuple[str, ...] = ("repro/cycles/", "repro/topology/")
+_HOT_PATH_SUFFIXES: Tuple[str, ...] = ("repro/shard/runtime.py",)
+_TRACE_METHODS = frozenset({"trace", "add_span"})
+
+
+class TraceGuardRule(Rule):
+    """Unguarded tracer calls in hot-path modules.
+
+    The null-tracer contract (DESIGN.md section 6) lets coarse sites —
+    one span per round, per figure, per sweep — call ``tracer.trace()``
+    unconditionally, but in the per-vertex/per-wave hot paths even the
+    no-op context manager's allocation shows up.  There, every
+    ``.trace()`` / ``.add_span()`` must sit behind a cheap guard.  Two
+    shapes are accepted:
+
+    * an **ancestor guard** — the call is (transitively) inside the
+      positive branch of an ``if`` whose test probes ``.enabled`` or
+      compares against ``NULL_TRACER``
+      (``if tracer.enabled: with tracer.trace(...)``), and
+    * an **early-return guard** — a preceding top-level statement of
+      the enclosing function tests the same thing and leaves
+      (``trc = self.tracer``, ``if trc is None or not trc.enabled:
+      return self._impl(...)``, then ``with trc.trace(...)``).
+
+    The rule keys on the receiver name (``tracer`` / ``trc`` /
+    ``*.tracer``), so unrelated ``.trace()`` methods stay out of scope.
+    """
+
+    rule_id = "REPRO114"
+    name = "trace-guard"
+    summary = "unguarded trace call in a hot-path module"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        hot = any(part in ctx.rel_path for part in _HOT_PATH_PARTS) or (
+            ctx.rel_path.endswith(_HOT_PATH_SUFFIXES)
+        )
+        if not hot:
+            return
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TRACE_METHODS
+            ):
+                continue
+            receiver = _dotted(node.func.value) or ""
+            tail = receiver.rsplit(".", 1)[-1]
+            if tail not in ("tracer", "trc"):
+                continue
+            if self._guarded(node, parents):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"`{_snippet(node.func)}()` in a hot-path module without a "
+                "`tracer.enabled` / NULL_TRACER guard; disabled runs must "
+                "pay one attribute probe, not a no-op span",
+            )
+
+    @staticmethod
+    def _is_guard_test(test: ast.AST) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "NULL_TRACER":
+                return True
+        return False
+
+    @staticmethod
+    def _leaves(stmt: ast.If) -> bool:
+        return bool(stmt.body) and isinstance(
+            stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    def _guarded(self, call: ast.Call, parents: Dict[ast.AST, ast.AST]) -> bool:
+        node: ast.AST = call
+        while node in parents:
+            parent = parents[node]
+            if (
+                isinstance(parent, ast.If)
+                and any(node is stmt for stmt in parent.body)
+                and self._is_guard_test(parent.test)
+            ):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Early-return guard: a preceding top-level statement of
+                # this function that probes the tracer and leaves.
+                for stmt in parent.body:
+                    if stmt.lineno >= call.lineno:
+                        break
+                    if (
+                        isinstance(stmt, ast.If)
+                        and self._is_guard_test(stmt.test)
+                        and self._leaves(stmt)
+                    ):
+                        return True
+                return False
+            node = parent
+        return False
+
+
 DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRngRule(),
     NumpyRngRule(),
@@ -932,6 +1041,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     FloatMergeRule(),
     SeedPlumbingRule(),
     ShardLocalityRule(),
+    TraceGuardRule(),
 )
 
 

@@ -35,7 +35,10 @@ from repro.analysis.experiments import (
 from repro.obs import (
     MetricsRegistry,
     Tracer,
+    attribution_from_tracer,
+    attribution_summary,
     build_run_report,
+    lane_timeline_from_tracer,
     observe,
     profile_summary,
     timeline_from_tracer,
@@ -206,7 +209,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         metavar="PATH",
         default=None,
-        help="render the per-round SVG timeline of the traced run",
+        help=(
+            "render the SVG timeline of the traced run (multi-lane "
+            "per-shard/worker view when the run recorded distributed "
+            "spans, rounds-x-phases grid otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--attribute",
+        action="store_true",
+        help=(
+            "print the distributed wall-clock attribution (per-round "
+            "compute / barrier-wait / halo / merge lanes, straggler "
+            "spread, critical path) and embed it in --report"
+        ),
     )
     return parser
 
@@ -230,6 +246,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace:
         count = write_trace_jsonl(tracer, args.trace)
         print(f"trace: {count} spans -> {args.trace}")
+    attribution = None
+    if args.attribute:
+        attribution = attribution_from_tracer(tracer)
+        if attribution is not None:
+            metrics.absorb_attribution(attribution)
+            print(attribution_summary(attribution))
+        else:
+            print("attribution: no scheduling rounds recorded")
     if args.report:
         report = build_run_report(
             f"repro-coverage:{args.experiment}",
@@ -245,14 +269,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "paper_scale": args.paper_scale,
                 "workers": args.workers,
             },
+            attribution=attribution,
         )
         validate_run_report(report)
         write_run_report(report, args.report)
         print(f"run-report -> {args.report}")
     if args.timeline:
-        canvas = timeline_from_tracer(
-            tracer, title=f"repro-coverage {args.experiment}"
+        # The multi-lane view only says something when the trace carries
+        # distributed spans (proc-tagged imports / barrier windows).
+        spans = tracer.spans()
+        distributed = any(
+            "proc" in span.attrs or span.name == "shard.barrier"
+            for span in spans
         )
+        if distributed:
+            canvas = lane_timeline_from_tracer(
+                tracer, title=f"repro-coverage {args.experiment} (lanes)"
+            )
+        else:
+            canvas = timeline_from_tracer(
+                tracer, title=f"repro-coverage {args.experiment}"
+            )
         canvas.save(args.timeline)
         print(f"timeline -> {args.timeline}")
     if args.profile:

@@ -259,11 +259,17 @@ def _dcc_schedule_rounds(
                     ]
                     rng.shuffle(order)
                     discovery.set(candidates=len(order))
-                    verdict_of = (
-                        fanout.verdicts(order, engine.counters, tracer)
-                        if fanout is not None
-                        else None
-                    )
+                    if fanout is not None:
+                        # The coordinator blocks here on the worker pool;
+                        # the barrier span minus the imported chunk busy
+                        # time is the fanned run's wait lane in the
+                        # attribution analysis.
+                        with tracer.trace("fanout.barrier", round=round_no):
+                            verdict_of = fanout.verdicts(
+                                order, engine.counters, tracer
+                            )
+                    else:
+                        verdict_of = None
                 with tracer.trace("scheduler.mis_draw", round=round_no) as draw:
                     blocked: Set[int] = set()
                     batch = []

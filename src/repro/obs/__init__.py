@@ -12,13 +12,25 @@ happens and exports it machine-readably:
   absorb the existing accounting objects and merge associatively.
 * :mod:`repro.obs.export` — JSONL traces, schema-versioned deterministic
   run-reports (``repro.run_report/v1``) and the ``--profile`` tree.
-* :mod:`repro.obs.timeline` — SVG per-round timelines through
-  :mod:`repro.viz.svg`.
+* :mod:`repro.obs.attribution` — distributed wall-clock attribution
+  (``repro.attribution/v1``): per-round compute / barrier-wait / halo /
+  merge lanes over the aligned cross-process span timeline.
+* :mod:`repro.obs.timeline` — SVG per-round timelines and multi-lane
+  shard/worker timelines through :mod:`repro.viz.svg`.
+* :mod:`repro.obs.bench` — the ``repro-bench`` CLI: named benches with
+  environment-fingerprinted entries and a tolerance-gated ``diff``.
 
-See DESIGN.md section 6 for the null-tracer contract and the
-determinism rules for merged worker observations.
+See DESIGN.md sections 6 and 11 for the null-tracer contract, the
+clock-alignment rules for merged worker observations and the
+attribution taxonomy.
 """
 
+from repro.obs.attribution import (
+    ATTRIBUTION_SCHEMA,
+    attribute_spans,
+    attribution_from_tracer,
+    attribution_summary,
+)
 from repro.obs.export import (
     RUN_REPORT_SCHEMA,
     TRACE_SCHEMA,
@@ -36,7 +48,12 @@ from repro.obs.export import (
     write_trace_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.timeline import render_timeline, timeline_from_tracer
+from repro.obs.timeline import (
+    lane_timeline_from_tracer,
+    render_lane_timeline,
+    render_timeline,
+    timeline_from_tracer,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -49,6 +66,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ATTRIBUTION_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -61,15 +79,20 @@ __all__ = [
     "TRACE_SCHEMA",
     "Tracer",
     "VOLATILE_META_KEYS",
+    "attribute_spans",
+    "attribution_from_tracer",
+    "attribution_summary",
     "build_run_report",
     "current_metrics",
     "current_tracer",
+    "lane_timeline_from_tracer",
     "load_run_report",
     "merge_json_entry",
     "observe",
     "phase_aggregates",
     "profile_summary",
     "read_trace_jsonl",
+    "render_lane_timeline",
     "render_timeline",
     "strip_volatile",
     "timeline_from_tracer",

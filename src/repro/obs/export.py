@@ -121,8 +121,14 @@ def build_run_report(
     tracer: Tracer,
     metrics=None,
     meta: Optional[Dict[str, Any]] = None,
+    attribution: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """A schema-versioned report of one run: phases + metrics + meta.
+
+    ``attribution`` (a ``repro.attribution/v1`` document from
+    :func:`repro.obs.attribution.attribute_spans`) is attached under an
+    ``attribution`` key only when provided, so reports without the
+    analysis keep the exact v1 key set.
 
     Deterministic at fixed seeds apart from wall/cpu fields and the
     volatile ``meta`` keys — see :func:`strip_volatile`.
@@ -135,6 +141,8 @@ def build_run_report(
         "metrics": metrics.as_dict() if metrics is not None else {},
         "spans_dropped": tracer.dropped,
     }
+    if attribution is not None:
+        report["attribution"] = attribution
     return report
 
 
@@ -210,6 +218,21 @@ def validate_run_report(report: Dict[str, Any]) -> None:
                 raise SchemaError(f"histogram {name!r} missing volatile flag")
         else:
             raise SchemaError(f"metric {name!r} has unknown type {kind!r}")
+    if "attribution" in report:
+        attribution = report["attribution"]
+        if not isinstance(attribution, dict):
+            raise SchemaError("attribution must be an object")
+        from repro.obs.attribution import ATTRIBUTION_SCHEMA
+
+        if attribution.get("schema") != ATTRIBUTION_SCHEMA:
+            raise SchemaError(
+                "attribution schema must be "
+                f"{ATTRIBUTION_SCHEMA!r}, got {attribution.get('schema')!r}"
+            )
+        if not isinstance(attribution.get("runs"), list):
+            raise SchemaError("attribution missing runs list")
+        if not isinstance(attribution.get("totals"), dict):
+            raise SchemaError("attribution missing totals object")
 
 
 def strip_volatile(report: Dict[str, Any]) -> Dict[str, Any]:
@@ -240,7 +263,28 @@ def strip_volatile(report: Dict[str, Any]) -> Dict[str, Any]:
                 "count": metric["count"],
                 "volatile": True,
             }
+    if "attribution" in out:
+        out["attribution"] = _strip_timing(out["attribution"])
     return out
+
+
+def _strip_timing(value: Any) -> Any:
+    """Recursively drop seconds-valued and environment-shaped fields.
+
+    Applied to the ``attribution`` block: every ``*_s`` key and the
+    ``workers`` count are volatile, while the structural skeleton
+    (round/sub-round/shard indices, halo row and byte counts) is the
+    deterministic part the worker-invariance property compares.
+    """
+    if isinstance(value, dict):
+        return {
+            key: _strip_timing(entry)
+            for key, entry in value.items()
+            if not key.endswith("_s") and key not in VOLATILE_META_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_timing(entry) for entry in value]
+    return value
 
 
 # ----------------------------------------------------------------------

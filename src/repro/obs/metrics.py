@@ -209,6 +209,21 @@ class MetricsRegistry:
                 self.inc(f"{prefix}messages_dropped.{kind}", count)
         self.absorb_topology(stats.topology)
 
+    def absorb_attribution(
+        self, attribution: Dict[str, Any], prefix: str = "attribution."
+    ) -> None:
+        """Fold an attribution document's lane totals into the registry.
+
+        Lane seconds land as volatile histograms (one observation per
+        document — their statistics strip away in determinism
+        comparisons); the attributed round count is a plain counter, so
+        a report records *that* the analysis ran deterministically.
+        """
+        totals = attribution["totals"]
+        for lane in ("wall_s", "compute_s", "barrier_wait_s", "halo_s", "merge_s"):
+            self.observe(prefix + lane, totals[lane], volatile=True)
+        self.inc(prefix + "rounds", totals["rounds"])
+
     # ------------------------------------------------------------------
     # Merge / wire format
     # ------------------------------------------------------------------

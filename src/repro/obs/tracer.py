@@ -36,6 +36,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 #: picklable wire format for a span: (name, depth, start_s, wall_s, cpu_s, attrs)
 SpanTuple = Tuple[str, int, float, float, float, Dict[str, Any]]
 
+#: schema version of the dict payload produced by :meth:`Tracer.export_payload`
+PAYLOAD_VERSION = 2
+
 DEFAULT_CAPACITY = 131_072
 
 
@@ -155,6 +158,12 @@ class Tracer:
         self.dropped = 0
         self._depth = 0
         self._epoch = time.perf_counter()
+        # The wall-clock instant matching self._epoch: span start offsets
+        # map onto one shared timeline as epoch_unix + start_s, which is
+        # how cross-process payloads align at import time.  Wall clock is
+        # volatile by the determinism contract (this module is inside
+        # repro/obs/, the REPRO103-exempt zone).
+        self._epoch_unix = time.time()
 
     # ------------------------------------------------------------------
     @property
@@ -210,6 +219,7 @@ class Tracer:
         self.dropped = 0
         self._depth = 0
         self._epoch = time.perf_counter()
+        self._epoch_unix = time.time()
 
     # ------------------------------------------------------------------
     # Cross-process shipping
@@ -218,27 +228,64 @@ class Tracer:
         """``(span tuples, dropped)`` in record order — picklable."""
         return [s.as_tuple() for s in self.spans()], self.dropped
 
-    def import_spans(
-        self, payload: Tuple[List[SpanTuple], int], rebase: bool = True
-    ) -> None:
+    def export_payload(self, process: Optional[str] = None) -> Dict[str, Any]:
+        """The v2 trace-context payload: spans plus this tracer's origin.
+
+        ``process`` labels the exporting process (``"shard3"``,
+        ``"chunk0"``); :meth:`import_spans` stamps it onto every imported
+        span as a ``proc`` attribute, which is what gives the multi-lane
+        timeline and the attribution analysis their lanes.
+        ``epoch_unix`` is the wall-clock instant of this tracer's time
+        origin, so the importer can place the spans on *its* clock by
+        shifting with the epoch difference instead of pretending they
+        happened at merge time.
+        """
+        spans, dropped = self.export_spans()
+        return {
+            "version": PAYLOAD_VERSION,
+            "process": process,
+            "epoch_unix": self._epoch_unix,
+            "spans": spans,
+            "dropped": dropped,
+        }
+
+    def import_spans(self, payload: Any, rebase: bool = True) -> None:
         """Merge spans exported elsewhere (a worker, a nested observer).
 
         Depths are offset by the current open depth, so imported spans
         nest under whatever span is open at merge time; the exit-order
         invariant is preserved because the open parent's own record is
-        appended later.  ``rebase`` shifts the imported ``start_s``
-        offsets onto this tracer's clock (start times across processes
-        are volatile either way).
+        appended later.
+
+        Two payload formats are accepted.  The legacy
+        ``(span tuples, dropped)`` pair rebases start offsets onto "now"
+        (``rebase=False`` keeps the foreign offsets verbatim).  A
+        :meth:`export_payload` dict *aligns* instead: the exporter's
+        ``epoch_unix`` anchors its offsets onto this tracer's timeline,
+        so concurrent shard/worker spans land where they actually ran,
+        and the payload's ``process`` label is stamped on every span as
+        a ``proc`` attribute.  Start times stay volatile either way;
+        names, attributes and nesting stay deterministic.
         """
-        spans, dropped = payload
+        proc: Optional[str] = None
+        if isinstance(payload, dict):
+            spans = payload["spans"]
+            dropped = payload["dropped"]
+            proc = payload.get("process")
+            shift = payload["epoch_unix"] - self._epoch_unix
+        else:
+            spans, dropped = payload
+            shift = 0.0
+            if rebase and spans:
+                shift = (time.perf_counter() - self._epoch) - spans[0][2]
         self.dropped += dropped
         if not spans:
             return
         offset = self._depth
-        shift = 0.0
-        if rebase:
-            shift = (time.perf_counter() - self._epoch) - spans[0][2]
         for name, depth, start_s, wall_s, cpu_s, attrs in spans:
+            if proc is not None:
+                attrs = dict(attrs)
+                attrs.setdefault("proc", proc)
             self._record(
                 Span(name, depth + offset, start_s + shift, wall_s, cpu_s, attrs)
             )
@@ -276,6 +323,15 @@ class NullTracer:
 
     def export_spans(self) -> Tuple[List[SpanTuple], int]:
         return [], 0
+
+    def export_payload(self, process: Optional[str] = None) -> Dict[str, Any]:
+        return {
+            "version": PAYLOAD_VERSION,
+            "process": process,
+            "epoch_unix": 0.0,
+            "spans": [],
+            "dropped": 0,
+        }
 
     def import_spans(self, payload: Any, rebase: bool = True) -> None:
         pass

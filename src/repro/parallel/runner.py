@@ -143,20 +143,25 @@ def chunk_evenly(items: Sequence[Any], chunks: int) -> List[Sequence[Any]]:
     return out
 
 
-def _observed_call(func: Callable[..., Any], *args: Any) -> Tuple[Any, Any, Any]:
+def _observed_call(
+    label: str, func: Callable[..., Any], *args: Any
+) -> Tuple[Any, Any, Any]:
     """Run one task under a fresh capture-local observation.
 
     Installs a per-task :class:`Tracer` / :class:`MetricsRegistry` pair
     as the ambient observers for the duration of the call and returns
     their picklable exports with the result.  Used identically by the
     worker-pool and serial-inline paths of :func:`parallel_starmap`, so
-    what gets captured does not depend on where the task ran.
+    what gets captured does not depend on where the task ran.  The spans
+    ship as an aligned v2 payload labelled ``label`` (the submission
+    index, e.g. ``task3``), so merged spans carry a deterministic
+    ``proc`` attribute and true timeline positions.
     """
     tracer = Tracer()
     metrics = MetricsRegistry()
     with observe(tracer, metrics):
         result = func(*args)
-    return result, tracer.export_spans(), metrics.to_payload()
+    return result, tracer.export_payload(process=label), metrics.to_payload()
 
 
 def parallel_starmap(
@@ -211,7 +216,7 @@ def parallel_starmap(
         if not capture:
             return [func(*task) for task in tasks]
         results = [
-            consume(i, _observed_call(func, *task))
+            consume(i, _observed_call(f"task{i}", func, *task))
             for i, task in enumerate(tasks)
         ]
         check_merge()
@@ -222,7 +227,10 @@ def parallel_starmap(
         if not capture:
             futures = [pool.submit(func, *task) for task in tasks]
             return [future.result() for future in futures]
-        futures = [pool.submit(_observed_call, func, *task) for task in tasks]
+        futures = [
+            pool.submit(_observed_call, f"task{i}", func, *task)
+            for i, task in enumerate(tasks)
+        ]
         results = [
             consume(i, future.result()) for i, future in enumerate(futures)
         ]
@@ -278,7 +286,10 @@ def _init_schedule_worker(source, tau: int) -> None:
 
 
 def _test_candidates(
-    log: Tuple[int, ...], chunk: Sequence[int], capture: bool = False
+    log: Tuple[int, ...],
+    chunk: Sequence[int],
+    capture: bool = False,
+    label: Optional[str] = None,
 ) -> Tuple[List[int], List[bool], Dict[str, int], Optional[Any]]:
     """Verdicts for ``chunk`` after replaying the missing log suffix.
 
@@ -312,7 +323,7 @@ def _test_candidates(
             verdicts = chunk_verdicts()
         finally:
             engine.set_observers(tracer=NULL_TRACER)
-        trace_payload = tracer.export_spans()
+        trace_payload = tracer.export_payload(process=label)
     else:
         verdicts = chunk_verdicts()
     after = engine.counters.as_dict()
@@ -370,8 +381,12 @@ class ScheduleFanout:
         log = tuple(self._log)
         capture = self.capture and tracer is not None and tracer.enabled
         futures = [
-            self._pool.submit(_test_candidates, log, chunk, capture)
-            for chunk in chunk_evenly(list(candidates), self.workers)
+            self._pool.submit(
+                _test_candidates, log, chunk, capture, f"chunk{index}"
+            )
+            for index, chunk in enumerate(
+                chunk_evenly(list(candidates), self.workers)
+            )
         ]
         out: Dict[int, bool] = {}
         for index, future in enumerate(futures):

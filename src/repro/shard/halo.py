@@ -94,6 +94,16 @@ class HaloExchange:
     # ------------------------------------------------------------------
     # Round accounting
     # ------------------------------------------------------------------
+    def round_meter(self) -> Tuple[int, int]:
+        """The open round's ``(rows, bytes)`` so far.
+
+        Reading the meter before and after one routing call yields that
+        call's traffic delta — how the coordinator's ``halo.route`` spans
+        get their ``rows``/``bytes`` attributes without a second
+        accounting pass.
+        """
+        return self._round_rows, self._round_bytes
+
     def end_round(self) -> Tuple[int, int]:
         """Close the current round's meter; returns ``(rows, bytes)``."""
         rows, nbytes = self._round_rows, self._round_bytes

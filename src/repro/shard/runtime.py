@@ -60,10 +60,20 @@ class LocalShard:
     ) -> None:
         self.index = index
         self.tracer = Tracer() if capture else NULL_TRACER
+        # Round/sub-round cursors for span attribution: begin_round opens
+        # round r and resets the sub-round counter; apply_deletions always
+        # precedes the begin it rides with, so its spans belong to r + 1.
+        self._round = -1
+        self._subround = 0
         if isinstance(source, (bytes, bytearray)):
             source = pickle.loads(source)
         if isinstance(source, ShmSource):
-            with self.tracer.trace("shm.attach", shard=index):
+            if self.tracer.enabled:
+                with self.tracer.trace("shm.attach", shard=index):
+                    owned, halo, boundary, partition = attach_partition(
+                        source.descriptor
+                    )
+            else:
                 owned, halo, boundary, partition = attach_partition(
                     source.descriptor
                 )
@@ -109,6 +119,8 @@ class LocalShard:
         """
         rows = list(owned_rows)
         rows.extend(halo_rows)
+        self._round += 1
+        self._subround = 0
         self._mis = WaveMIS(
             self.engine.kernel, rows, self._radius, owned=self._owned_set
         )
@@ -128,24 +140,47 @@ class LocalShard:
         Those arrive via :meth:`apply_status` before the next
         sub-round.  Returns ``(winners, exported status rows, owned
         undecided remaining)``.
+
+        When capture is on, the whole sub-round records a
+        ``shard.subround`` span (attrs ``shard``/``round``/``subround``)
+        — the per-shard busy interval the attribution analysis and the
+        multi-lane timeline consume; hot-path tracing stays behind
+        ``tracer.enabled`` guards (REPRO114).
         """
+        tracer = self.tracer
+        subround = self._subround
+        self._subround = subround + 1
+        if tracer.enabled:
+            with tracer.trace(
+                "shard.subround",
+                shard=self.index,
+                round=self._round,
+                subround=subround,
+            ):
+                return self._mis_waves(subround)
+        return self._mis_waves(subround)
+
+    def _mis_waves(self, subround: int) -> Tuple[List[int], List[StatusRow], int]:
         mis = self._mis
         boundary = self._boundary
+        tracer = self.tracer
         exported: List[StatusRow] = []
         winners: List[int] = []
         while True:
             testable, blocked = mis.step()
             exported.extend((v, LOSER) for v in blocked if v in boundary)
             if testable:
-                with self.tracer.trace(
-                    "shard.verdicts",
-                    shard=self.index,
-                    candidates=len(testable),
-                ):
-                    if self._use_batch:
-                        verdicts = self.engine.span_verdicts_batch(testable)
-                    else:
-                        verdicts = [self.engine.deletable(v) for v in testable]
+                if tracer.enabled:
+                    with tracer.trace(
+                        "shard.verdicts",
+                        shard=self.index,
+                        round=self._round,
+                        subround=subround,
+                        candidates=len(testable),
+                    ):
+                        verdicts = self._verdicts_of(testable)
+                else:
+                    verdicts = self._verdicts_of(testable)
                 for v, verdict in zip(testable, verdicts):
                     mis.record_verdict(v, verdict)
                     if verdict:
@@ -155,6 +190,11 @@ class LocalShard:
             elif not blocked:
                 break
         return winners, exported, mis.undecided_count()
+
+    def _verdicts_of(self, testable: Sequence[int]) -> List[bool]:
+        if self._use_batch:
+            return self.engine.span_verdicts_batch(testable)
+        return [self.engine.deletable(v) for v in testable]
 
     def apply_status(self, rows: Sequence[StatusRow]) -> None:
         """Apply foreign boundary-band decisions (the sub-round barrier)."""
@@ -169,9 +209,18 @@ class LocalShard:
         partition, so the engine's dirty-region invalidation sees the
         same mutation sequence the unsharded engine would.
         """
-        with self.tracer.trace(
-            "shard.apply", shard=self.index, deletions=len(batch)
-        ):
+        if self.tracer.enabled:
+            # Deletions ride the *next* round's begin message, so the
+            # span belongs to the round about to open.
+            with self.tracer.trace(
+                "shard.apply",
+                shard=self.index,
+                round=self._round + 1,
+                deletions=len(batch),
+            ):
+                for v in batch:
+                    self.engine.delete_vertex(v)
+        else:
             for v in batch:
                 self.engine.delete_vertex(v)
 
@@ -183,7 +232,13 @@ class LocalShard:
         return self.engine.counters.as_dict()
 
     def spans_payload(self):
-        """Captured spans (``None`` when capture was off)."""
+        """Captured spans as an aligned v2 payload (``None`` if capture off).
+
+        The payload carries this shard's time origin and a
+        ``shard{index}`` process label, so the coordinator's
+        :meth:`~repro.obs.tracer.Tracer.import_spans` places the spans on
+        the shared timeline and stamps each with a ``proc`` attribute.
+        """
         if self.tracer is NULL_TRACER:
             return None
-        return self.tracer.export_spans()
+        return self.tracer.export_payload(process=f"shard{self.index}")

@@ -59,6 +59,23 @@ class ShardStats:
     subrounds_per_round: List[int] = field(default_factory=list)
 
 
+def _route_traced(tracer, exchange, round_no: int, kind: str, call):
+    """Run one exchange call under a ``halo.route`` span.
+
+    The span carries the call's rows/bytes delta read off the exchange's
+    round meter — the numbers the attribution analysis and the timeline
+    overlay consume.  With tracing disabled the call runs bare.
+    """
+    if not tracer.enabled:
+        return call()
+    rows0, bytes0 = exchange.round_meter()
+    with tracer.trace("halo.route", round=round_no, kind=kind) as handle:
+        out = call()
+        rows1, bytes1 = exchange.round_meter()
+        handle.set(rows=rows1 - rows0, bytes=bytes1 - bytes0)
+    return out
+
+
 class _InlineBackend:
     """All shards hosted in this process (``workers=1``)."""
 
@@ -129,7 +146,11 @@ def sharded_dcc_schedule(
     ``(graph, tau, shards, plan_seed)``.
     """
     from repro.core.scheduler import ScheduleResult
-    from repro.parallel.runner import ShardWorkerPool, resolve_workers
+    from repro.parallel.runner import (
+        ShardWorkerPool,
+        chunk_evenly,
+        resolve_workers,
+    )
 
     tracer = tracer if tracer is not None else current_tracer()
     metrics = metrics if metrics is not None else current_metrics()
@@ -159,6 +180,21 @@ def sharded_dcc_schedule(
             capture,
         )
     exchange = HaloExchange(plan.subscribers)
+    if capture:
+        # Zero-wall marker span recording the shard-to-worker assignment
+        # (contiguous by index, the pool's own chunking) — the attribution
+        # analysis reconstructs per-worker critical paths from it.
+        assignment = [
+            list(chunk)
+            for chunk in chunk_evenly(list(range(plan.shard_count)), pool_size)
+        ]
+        tracer.add_span(
+            "shard.config",
+            0.0,
+            shards=plan.shard_count,
+            workers=pool_size,
+            assignment=assignment,
+        )
     member_sets = plan.member_sets()
     owner = plan.owner
     subscribers = plan.subscribers
@@ -199,19 +235,31 @@ def sharded_dcc_schedule(
                         owned_rows[owner[v]].append(row)
                         for target in subscribers.get(v, ()):
                             halo_rows[target].append(row)
-                    exchange.account_broadcast(
-                        {
-                            index: rows
-                            for index, rows in enumerate(halo_rows)
-                            if rows
-                        }
+                    _route_traced(
+                        tracer,
+                        exchange,
+                        round_no,
+                        "priority",
+                        lambda: exchange.account_broadcast(
+                            {
+                                index: rows
+                                for index, rows in enumerate(halo_rows)
+                                if rows
+                            }
+                        ),
                     )
                     # The previous round's committed deletions ride the
                     # begin message (one roundtrip instead of two), and
                     # the reply already carries the first sub-round.
-                    results = backend.begin_round(
-                        pending, owned_rows, halo_rows
-                    )
+                    # The barrier span times the coordinator-side wait on
+                    # the backend; subtracting the shards' own busy spans
+                    # from it is what isolates barrier wait.
+                    with tracer.trace(
+                        "shard.barrier", round=round_no, subround=0
+                    ):
+                        results = backend.begin_round(
+                            pending, owned_rows, halo_rows
+                        )
                     pending = {}
                 with tracer.trace(
                     "scheduler.mis_draw", round=round_no
@@ -232,9 +280,19 @@ def sharded_dcc_schedule(
                             break
                         # Foreign statuses piggyback on the next request:
                         # one roundtrip per barrier instead of two.
-                        results = backend.mis_subround(
-                            exchange.route(statuses)
+                        deliveries = _route_traced(
+                            tracer,
+                            exchange,
+                            round_no,
+                            "status",
+                            lambda rows=statuses: exchange.route(rows),
                         )
+                        with tracer.trace(
+                            "shard.barrier",
+                            round=round_no,
+                            subround=subrounds,
+                        ):
+                            results = backend.mis_subround(deliveries)
                     batch = sorted(winners, key=prio.__getitem__)
                     draw.set(winners=len(batch), subrounds=subrounds)
                 stats.subrounds_per_round.append(subrounds)
@@ -247,7 +305,13 @@ def sharded_dcc_schedule(
                     for v in batch:
                         work.remove_vertex(v)
                         removed.append(v)
-                    exchange.route_deletions(batch)
+                    _route_traced(
+                        tracer,
+                        exchange,
+                        round_no,
+                        "deletion",
+                        lambda rows=batch: exchange.route_deletions(rows),
+                    )
                     pending = {
                         index: [v for v in batch if v in member_sets[index]]
                         for index in range(plan.shard_count)
@@ -275,6 +339,10 @@ def sharded_dcc_schedule(
         snapshot, spans_payload = accounts[index]
         counters.merge(TopologyCounters(**snapshot))
         if spans_payload is not None:
+            # v2 payloads align on the exporter's epoch: the shard's
+            # spans land at their true positions on the coordinator
+            # timeline (tagged proc=shardN), not at merge time; the
+            # merge span itself times only the import.
             with tracer.trace("shard.merge", shard=index):
                 tracer.import_spans(spans_payload)
 

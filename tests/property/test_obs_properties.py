@@ -141,3 +141,84 @@ class TestSpanStreamProperties:
         # The survivors are exactly the newest spans, oldest first.
         expect = [f"s{i}" for i in range(len(walls))][-capacity:]
         assert [s.name for s in tracer.spans()] == expect
+
+
+class TestShardedReportInvariance:
+    """Sharded runs join the worker-invariance contract (DESIGN.md §11).
+
+    At a fixed seed and shard count, the run-report — including the
+    attribution block's deterministic skeleton — is identical after
+    :func:`strip_volatile` whether the shards are hosted inline
+    (``workers=1``) or in worker processes, and the deletion schedule
+    matches the unsharded engine's exactly.
+    """
+
+    @staticmethod
+    def _network(count, seed):
+        net = build_network(
+            count, Rectangle(0, 0, 4.2, 4.2), 1.0, 1.0, seed=seed
+        )
+        return net.graph, set(net.boundary_nodes)
+
+    @staticmethod
+    def _sharded_report(graph, protected, tau, shards, workers):
+        from repro.obs import attribution_from_tracer, build_run_report
+        from repro.shard import sharded_dcc_schedule
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        with observe(tracer, metrics):
+            result = sharded_dcc_schedule(
+                graph,
+                protected,
+                tau,
+                random.Random(7),
+                shards=shards,
+                workers=workers,
+            )
+        attribution = attribution_from_tracer(tracer)
+        assert attribution is not None
+        metrics.absorb_attribution(attribution)
+        report = build_run_report(
+            "sharded", tracer, metrics, attribution=attribution
+        )
+        validate_run_report(report)
+        return result, report
+
+    @given(
+        count=st.integers(min_value=28, max_value=55),
+        tau=st.integers(min_value=3, max_value=5),
+        shards=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_inline_and_pooled_reports_agree(self, count, tau, shards, seed):
+        graph, protected = self._network(count, seed)
+        serial = dcc_schedule(
+            graph, protected, tau, rng=random.Random(7), workers=1
+        )
+        inline_result, inline_report = self._sharded_report(
+            graph, protected, tau, shards, workers=1
+        )
+        pooled_result, pooled_report = self._sharded_report(
+            graph, protected, tau, shards, workers=2
+        )
+        # Identity: the sharded schedule is the serial schedule.
+        assert inline_result.removed == serial.removed
+        assert pooled_result.removed == serial.removed
+        # Observation: reports (attribution skeleton included) are
+        # byte-identical at any worker count once volatile is stripped.
+        assert strip_volatile(inline_report) == strip_volatile(pooled_report)
+        assert "attribution" in strip_volatile(inline_report)
+        for phase, entry in inline_report["phases"].items():
+            assert entry["calls"] == pooled_report["phases"][phase]["calls"]
+        # Exactness: per round, the four lanes cover the coordinator
+        # round wall (the --attribute acceptance bound, here at 0%).
+        for run in inline_report["attribution"]["runs"]:
+            for row in run["rounds"]:
+                lanes = (
+                    row["compute_s"]
+                    + row["barrier_wait_s"]
+                    + row["halo_s"]
+                    + row["merge_s"]
+                )
+                assert abs(lanes - row["wall_s"]) <= 0.05 * row["wall_s"] + 1e-9

@@ -1,0 +1,188 @@
+"""Unit tests for the ``repro-bench`` fingerprint/diff machinery.
+
+The regression gate's promises, each pinned here: entries carry the
+``repro.bench/v2`` environment fingerprint; deterministic fields diff
+exactly; byte counts get a fixed band; timing only gates when a
+tolerance is given *and* the fingerprints match; ``normalize`` upgrades
+old entries without touching their measurements.  The named benches
+themselves run in ``benchmarks/`` — here only the cheap kernel one is
+executed end-to-end.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BENCHES,
+    KNOB_NAMES,
+    bench_kernel_schedule,
+    diff_entries,
+    diff_files,
+    env_fingerprint,
+    main,
+    stamp_entry,
+)
+
+
+def _entry(**overrides):
+    base = {
+        "rounds": 10,
+        "deletions": 40,
+        "halo_bytes_total": 1000,
+        "wall_s": 1.0,
+        "scale": "smoke",
+    }
+    base.update(overrides)
+    return stamp_entry(base)
+
+
+class TestFingerprint:
+    def test_fingerprint_shape(self):
+        fp = env_fingerprint()
+        assert fp["schema"] == BENCH_SCHEMA
+        assert fp["cpu_count"] >= 1
+        assert isinstance(fp["python"], str)
+        assert set(fp["knobs"]) == set(KNOB_NAMES)
+
+    def test_stamp_preserves_measurements(self):
+        entry = stamp_entry({"rounds": 3, "wall_s": 0.5})
+        assert entry["rounds"] == 3
+        assert entry["wall_s"] == 0.5
+        assert entry["schema"] == BENCH_SCHEMA
+
+    def test_stamp_does_not_mutate_input(self):
+        raw = {"rounds": 3}
+        stamp_entry(raw)
+        assert raw == {"rounds": 3}
+
+
+class TestDiffEntries:
+    def test_identical_entries_pass(self):
+        entry = _entry()
+        assert diff_entries("b", entry, dict(entry), tolerance=0.5) == []
+
+    def test_deterministic_drift_fails_without_tolerance(self):
+        assert diff_entries("b", _entry(), _entry(rounds=11)) != []
+
+    def test_bytes_band(self):
+        base = _entry()
+        assert diff_entries("b", base, _entry(halo_bytes_total=1050)) == []
+        assert diff_entries("b", base, _entry(halo_bytes_total=1200)) != []
+
+    def test_timing_ignored_without_tolerance(self):
+        assert diff_entries("b", _entry(), _entry(wall_s=100.0)) == []
+
+    def test_timing_gated_with_tolerance_and_same_env(self):
+        base = _entry()
+        slow = _entry(wall_s=2.0)
+        assert diff_entries("b", base, slow, tolerance=0.5) != []
+        assert diff_entries("b", base, _entry(wall_s=1.4), tolerance=0.5) == []
+        # Faster is never a regression.
+        assert diff_entries("b", base, _entry(wall_s=0.2), tolerance=0.5) == []
+
+    def test_timing_skipped_across_environments(self):
+        base = _entry()
+        slow = _entry(wall_s=100.0)
+        slow["cpu_count"] = base["cpu_count"] + 7
+        assert diff_entries("b", base, slow, tolerance=0.5) == []
+
+    def test_keys_in_one_entry_only_are_ignored(self):
+        base = _entry()
+        current = _entry()
+        current["new_measure"] = 5
+        assert diff_entries("b", base, current) == []
+
+
+class TestDiffFiles:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+
+    def test_gate_passes_and_fails(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        self._write(baseline, {"bench": _entry()})
+        self._write(current, {"bench": _entry()})
+        problems, notes = diff_files(str(baseline), str(current), 0.5)
+        assert problems == []
+        assert any("bench: ok" in note for note in notes)
+
+        self._write(current, {"bench": _entry(rounds=99)})
+        problems, _ = diff_files(str(baseline), str(current), 0.5)
+        assert any("rounds" in p for p in problems)
+
+    def test_disjoint_files_fail(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        self._write(baseline, {"a": _entry()})
+        self._write(current, {"b": _entry()})
+        problems, notes = diff_files(str(baseline), str(current))
+        assert problems == ["no entries in common between baseline and current"]
+        assert len(notes) == 2
+
+
+class TestCli:
+    def test_list_names_every_bench(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in BENCHES:
+            assert name in out
+
+    def test_run_unknown_bench_errors(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["run", "nope", "--out", str(out)]) == 2
+
+    def test_run_kernel_bench_writes_stamped_entry(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["run", "kernel_schedule", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        entry = data["kernel_schedule"]
+        assert entry["schema"] == BENCH_SCHEMA
+        assert entry["rounds"] > 0
+        # Rerunning reproduces the deterministic fields exactly — the
+        # property the CI gate relies on.
+        again = stamp_entry(bench_kernel_schedule("smoke"))
+        assert diff_entries("kernel_schedule", entry, again) == []
+
+    def test_diff_exit_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps({"bench": _entry()}))
+        cur.write_text(json.dumps({"bench": _entry()}))
+        assert main(["diff", str(base), str(cur), "--tolerance", "0.5"]) == 0
+        cur.write_text(json.dumps({"bench": _entry(deletions=1)}))
+        assert main(["diff", str(base), str(cur)]) == 1
+
+    def test_normalize_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({"old_bench": {"wall_s": 2.4, "tau": 4}}))
+        assert main(["normalize", str(path)]) == 0
+        entry = json.loads(path.read_text())["old_bench"]
+        # Old keys intact, v2 stamp added.
+        assert entry["wall_s"] == 2.4
+        assert entry["tau"] == 4
+        assert entry["schema"] == BENCH_SCHEMA
+        assert set(entry["knobs"]) == set(KNOB_NAMES)
+
+    def test_normalize_keeps_recorded_cpu_count(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({"old": {"cpu_count": 64}}))
+        main(["normalize", str(path)])
+        assert json.loads(path.read_text())["old"]["cpu_count"] == 64
+
+
+class TestCommittedBaselines:
+    @pytest.mark.parametrize(
+        "fname", ["BENCH_kernel.json", "BENCH_shard.json", "BENCH_smoke.json"]
+    )
+    def test_committed_entries_are_fingerprinted(self, fname):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        data = json.loads((root / fname).read_text())
+        assert data, fname
+        for name, entry in data.items():
+            assert entry.get("schema") == BENCH_SCHEMA, (fname, name)
+            assert "cpu_count" in entry, (fname, name)
+            assert set(entry["knobs"]) == set(KNOB_NAMES), (fname, name)

@@ -731,3 +731,141 @@ class TestSanitizerEngineHooks:
         assert os.environ["REPRO_SANITIZE"] == "warn"
         disable_sanitizer()
         assert "REPRO_SANITIZE" not in os.environ
+
+
+# ----------------------------------------------------------------------
+# REPRO114: hot-path trace calls must be guarded
+# ----------------------------------------------------------------------
+class TestTraceGuard:
+    HOT = "src/repro/cycles/hot.py"
+
+    def test_unguarded_trace_in_hot_module_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def extract(tracer, v):
+                with tracer.trace("kernel.ball", v=v):
+                    return v
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" in rules_of(findings)
+
+    def test_unguarded_add_span_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def note(tracer):
+                tracer.add_span("kernel.note", 0.0)
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" in rules_of(findings)
+
+    def test_ancestor_enabled_guard_accepted(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def extract(tracer, v):
+                if tracer.enabled:
+                    with tracer.trace("kernel.ball", v=v):
+                        return v
+                return v
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" not in rules_of(findings)
+
+    def test_early_return_guard_accepted(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            class Kernel:
+                def ball(self, v):
+                    trc = self.tracer
+                    if trc is None or not trc.enabled:
+                        return self._ball(v)
+                    with trc.trace("kernel.ball", v=v):
+                        return self._ball(v)
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" not in rules_of(findings)
+
+    def test_null_tracer_comparison_accepted(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def note(tracer):
+                if tracer is not NULL_TRACER:
+                    tracer.add_span("kernel.note", 0.0)
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" not in rules_of(findings)
+
+    def test_else_branch_of_guard_still_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def extract(tracer, v):
+                if tracer.enabled:
+                    pass
+                else:
+                    with tracer.trace("kernel.ball", v=v):
+                        return v
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" in rules_of(findings)
+
+    def test_cold_modules_unconstrained(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def figure(tracer):
+                with tracer.trace("figure.fig2"):
+                    pass
+            """,
+            rel="src/repro/analysis/figs.py",
+        )
+        assert "REPRO114" not in rules_of(findings)
+
+    def test_shard_runtime_is_hot(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def subround(tracer):
+                with tracer.trace("shard.subround"):
+                    pass
+            """,
+            rel="src/repro/shard/runtime.py",
+        )
+        assert "REPRO114" in rules_of(findings)
+
+    def test_unrelated_trace_method_ignored(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def run(debugger):
+                with debugger.trace("something"):
+                    pass
+            """,
+            rel=self.HOT,
+        )
+        assert "REPRO114" not in rules_of(findings)
+
+    def test_repo_hot_paths_are_clean(self):
+        from pathlib import Path
+
+        from repro.checks.engine import lint_paths
+        from repro.checks.rules import TraceGuardRule
+
+        root = Path(__file__).resolve().parents[2]
+        hot = [
+            *sorted((root / "src/repro/cycles").glob("*.py")),
+            *sorted((root / "src/repro/topology").glob("*.py")),
+            root / "src/repro/shard/runtime.py",
+        ]
+        findings, _ = lint_paths(hot, [TraceGuardRule()], root=root)
+        assert findings == []

@@ -17,21 +17,27 @@ import time
 import pytest
 
 from repro.obs import (
+    ATTRIBUTION_SCHEMA,
     MetricsRegistry,
     NULL_TRACER,
     RUN_REPORT_SCHEMA,
     SchemaError,
     TRACE_SCHEMA,
     Tracer,
+    attribute_spans,
+    attribution_from_tracer,
+    attribution_summary,
     build_run_report,
     current_metrics,
     current_tracer,
+    lane_timeline_from_tracer,
     load_run_report,
     merge_json_entry,
     observe,
     phase_aggregates,
     profile_summary,
     read_trace_jsonl,
+    render_lane_timeline,
     render_timeline,
     strip_volatile,
     timeline_from_tracer,
@@ -510,3 +516,262 @@ class TestTimeline:
     def test_no_round_spans_still_renders(self):
         canvas = render_timeline([_span("loose", 0, 0.1)])
         assert "no round-attributed spans" in canvas.render()
+
+
+# ----------------------------------------------------------------------
+# v2 aligned payloads
+# ----------------------------------------------------------------------
+class TestAlignedPayload:
+    def test_export_payload_shape(self):
+        tracer = Tracer()
+        tracer.add_span("work", 0.1)
+        payload = tracer.export_payload(process="shard1")
+        assert payload["version"] == 2
+        assert payload["process"] == "shard1"
+        assert payload["dropped"] == 0
+        assert len(payload["spans"]) == 1
+        assert isinstance(payload["epoch_unix"], float)
+
+    def test_import_aligns_epochs_and_tags_proc(self):
+        worker = Tracer()
+        worker.add_span("shard.subround", 0.1, shard=0, round=0, subround=0)
+        payload = worker.export_payload(process="shard0")
+        worker_start = payload["spans"][0][2]
+
+        coordinator = Tracer()
+        # Pretend the worker's clock origin is 5s later than ours: the
+        # importer must shift its spans forward by exactly that much.
+        payload["epoch_unix"] = coordinator._epoch_unix + 5.0
+        coordinator.import_spans(payload)
+        (span,) = coordinator.spans()
+        assert span.attrs["proc"] == "shard0"
+        assert span.attrs["shard"] == 0
+        assert span.start_s == pytest.approx(worker_start + 5.0)
+
+    def test_import_preserves_existing_proc_tag(self):
+        worker = Tracer()
+        worker.add_span("step", 0.1, proc="original")
+        sink = Tracer()
+        sink.import_spans(worker.export_payload(process="relay"))
+        assert sink.spans()[0].attrs["proc"] == "original"
+
+    def test_legacy_tuple_payload_has_no_proc(self):
+        worker = Tracer()
+        worker.add_span("step", 0.1)
+        sink = Tracer()
+        sink.import_spans(worker.export_spans())
+        assert "proc" not in sink.spans()[0].attrs
+
+    def test_payload_import_accumulates_dropped(self):
+        source = Tracer(capacity=1)
+        source.add_span("a", 0.0)
+        source.add_span("b", 0.0)
+        sink = Tracer()
+        sink.import_spans(source.export_payload(process="w"))
+        assert sink.dropped == 1
+
+    def test_null_tracer_payload_is_empty_v2(self):
+        payload = NULL_TRACER.export_payload(process="w")
+        assert payload["version"] == 2
+        assert payload["spans"] == []
+        assert payload["dropped"] == 0
+
+
+# ----------------------------------------------------------------------
+# Wall-clock attribution
+# ----------------------------------------------------------------------
+def _sharded_segment():
+    """A synthetic one-round sharded trace with known lane quantities."""
+    return [
+        _span(
+            "shard.config", 0, 0.0, shards=2, workers=2, assignment=[[0], [1]]
+        ),
+        _span(
+            "shard.subround", 1, 0.3,
+            start_s=0.05, shard=0, round=0, subround=0, proc="shard0",
+        ),
+        _span(
+            "shard.subround", 1, 0.4,
+            start_s=0.05, shard=1, round=0, subround=0, proc="shard1",
+        ),
+        _span("shard.barrier", 1, 0.5, start_s=0.02, round=0, subround=0),
+        _span(
+            "halo.route", 1, 0.05,
+            start_s=0.52, round=0, kind="status", rows=10, bytes=100,
+        ),
+        _span("scheduler.round", 0, 0.65, start_s=0.0, round=0, mode="sharded"),
+    ]
+
+
+class TestAttribution:
+    def test_sharded_lane_decomposition(self):
+        attribution = attribute_spans(_sharded_segment())
+        assert attribution["schema"] == ATTRIBUTION_SCHEMA
+        assert attribution["mode"] == "sharded"
+        (run,) = attribution["runs"]
+        (row,) = run["rounds"]
+        # Two single-shard workers: compute is the straggler's busy time.
+        assert row["compute_s"] == pytest.approx(0.4)
+        assert row["barrier_wait_s"] == pytest.approx(0.1)
+        assert row["halo_s"] == pytest.approx(0.05)
+        assert row["merge_s"] == pytest.approx(0.1)
+        lanes = (
+            row["compute_s"]
+            + row["barrier_wait_s"]
+            + row["halo_s"]
+            + row["merge_s"]
+        )
+        assert lanes == pytest.approx(row["wall_s"])
+        assert row["straggler_spread_s"] == pytest.approx(0.1)
+        assert (row["halo_rows"], row["halo_bytes"]) == (10, 100)
+        assert run["critical_path_s"] == pytest.approx(0.4)
+        assert run["per_shard"][0]["busy_s"] == pytest.approx(0.3)
+        assert run["per_shard"][1]["busy_s"] == pytest.approx(0.4)
+
+    def test_single_worker_compute_is_summed_busy(self):
+        spans = _sharded_segment()
+        spans[0] = _span(
+            "shard.config", 0, 0.0, shards=2, workers=1, assignment=[[0, 1]]
+        )
+        (run,) = attribute_spans(spans)["runs"]
+        (row,) = run["rounds"]
+        # One worker hosts both shards: their busy times serialise.
+        assert row["compute_s"] == pytest.approx(0.7)
+        assert row["barrier_wait_s"] == pytest.approx(0.0)
+
+    def test_apply_folds_into_subround_zero(self):
+        spans = _sharded_segment()
+        spans.insert(
+            1,
+            _span(
+                "shard.apply", 1, 0.2,
+                shard=0, round=0, deletions=3, proc="shard0",
+            ),
+        )
+        (run,) = attribute_spans(spans)["runs"]
+        (row,) = run["rounds"]
+        # Worker 0's lane grows to 0.5 and overtakes worker 1's 0.4.
+        assert row["compute_s"] == pytest.approx(0.5)
+
+    def test_multiple_runs_split_on_config_markers(self):
+        spans = _sharded_segment() + _sharded_segment()
+        attribution = attribute_spans(spans)
+        assert len(attribution["runs"]) == 2
+        assert attribution["totals"]["rounds"] == 2
+        assert attribution["totals"]["wall_s"] == pytest.approx(1.3)
+
+    def test_unsharded_fallback(self):
+        spans = [
+            _span("scheduler.candidates", 1, 0.2, round=0),
+            _span("fanout.barrier", 2, 0.15, round=0),
+            _span("scheduler.mis_draw", 1, 0.1, round=0),
+            _span("scheduler.deletion", 1, 0.05, round=0),
+            _span("scheduler.round", 0, 0.4, round=0, mode="parallel"),
+        ]
+        attribution = attribute_spans(spans)
+        assert attribution["mode"] == "parallel"
+        (row,) = attribution["runs"][0]["rounds"]
+        assert row["barrier_wait_s"] == pytest.approx(0.15)
+        assert row["compute_s"] == pytest.approx(0.2)
+        assert row["merge_s"] == pytest.approx(0.05)
+        assert row["wall_s"] == pytest.approx(
+            row["compute_s"]
+            + row["barrier_wait_s"]
+            + row["halo_s"]
+            + row["merge_s"]
+        )
+
+    def test_no_rounds_returns_none(self):
+        assert attribute_spans([_span("loose", 0, 0.1)]) is None
+        assert attribute_spans([]) is None
+
+    def test_attribution_from_tracer_respects_null(self):
+        assert attribution_from_tracer(NULL_TRACER) is None
+
+    def test_summary_renders(self):
+        text = attribution_summary(attribute_spans(_sharded_segment()))
+        assert "wall-clock attribution" in text
+        assert "barrier-wait" in text
+        assert "per-shard busy" in text
+        assert "critical path" in text
+
+    def test_report_embeds_and_strips(self):
+        tracer = Tracer()
+        tracer.add_span("phase", 0.1)
+        attribution = attribute_spans(_sharded_segment())
+        report = build_run_report(
+            "unit", tracer, attribution=attribution, meta={"seed": 0}
+        )
+        validate_run_report(report)
+        assert report["attribution"]["totals"]["rounds"] == 1
+        stripped = strip_volatile(report)
+        run = stripped["attribution"]["runs"][0]
+        # Every *_s field and the worker count are gone; the structural
+        # skeleton survives for worker-invariance comparisons.
+        assert "workers" not in run
+        assert run["rounds"] == [
+            {"round": 0, "subrounds": 1, "halo_rows": 10, "halo_bytes": 100}
+        ]
+        assert run["per_shard"] == [
+            {"shard": 0, "subrounds": 1},
+            {"shard": 1, "subrounds": 1},
+        ]
+        # Reports without the analysis keep the exact v1 key set.
+        bare = build_run_report("unit", tracer)
+        assert "attribution" not in bare
+
+    def test_validate_rejects_bad_attribution(self):
+        tracer = Tracer()
+        tracer.add_span("phase", 0.1)
+        report = build_run_report(
+            "unit", tracer, attribution=attribute_spans(_sharded_segment())
+        )
+        for mutate in (
+            lambda r: r["attribution"].pop("runs"),
+            lambda r: r["attribution"].update(schema="repro.attribution/v0"),
+            lambda r: r.update(attribution=[1, 2]),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutate(broken)
+            with pytest.raises(SchemaError):
+                validate_run_report(broken)
+
+    def test_metrics_absorb_attribution(self):
+        metrics = MetricsRegistry()
+        metrics.absorb_attribution(attribute_spans(_sharded_segment()))
+        assert metrics.get("attribution.rounds").value == 1
+        walls = metrics.get("attribution.wall_s")
+        assert walls.volatile and walls.count == 1
+
+
+# ----------------------------------------------------------------------
+# Multi-lane timeline
+# ----------------------------------------------------------------------
+class TestLaneTimeline:
+    def test_lanes_render_with_shading_and_overlay(self):
+        canvas = render_lane_timeline(_sharded_segment(), title="unit")
+        svg = canvas.render()
+        assert "coordinator" in svg
+        assert "shard0" in svg and "shard1" in svg
+        assert "halo rows/route" in svg
+        assert "aligned wall-clock seconds" in svg
+
+    def test_no_distributed_spans_message(self):
+        canvas = render_lane_timeline([])
+        assert "no distributed spans" in canvas.render()
+
+    def test_from_tracer_wrapper(self):
+        tracer = Tracer()
+        tracer.add_span("halo.route", 0.1, round=0, kind="status", rows=3, bytes=30)
+        svg = lane_timeline_from_tracer(tracer, title="t").render()
+        assert "coordinator" in svg
+
+    def test_many_spans_coalesce(self):
+        spans = [
+            _span("engine.verdict", 0, 0.002, start_s=i * 0.002, proc="chunk0")
+            for i in range(500)
+        ]
+        svg = render_lane_timeline(spans).render()
+        # Contiguous spans coalesce into busy blocks: far fewer rects.
+        assert svg.count("<rect") < 50
+        assert "chunk0" in svg
