@@ -170,7 +170,12 @@ def run_fig2_vertex_deletion(
     figure tables.
 
     ``shards`` runs every cell's schedule over halo-exchange region
-    shards (vertex-identical results — see :mod:`repro.shard`);
+    shards (vertex-identical results — see :mod:`repro.shard`).  A
+    sharded run keeps the cells serial and spends ``workers`` on the
+    schedule instead: each cell's shards are hosted by a
+    coordinator-driven worker pool
+    (:class:`~repro.parallel.runner.ShardWorkerPool`), which keeps the
+    chaos/attribution accounting in this process.
     ``criterion=False`` skips the full-graph partitionability checks,
     which are the scaling bottleneck past ~10k nodes (the schedule
     itself is local work; the criterion is a whole-graph GF(2) span).
@@ -181,15 +186,19 @@ def run_fig2_vertex_deletion(
 
     observed = current_tracer().enabled or current_metrics() is not None
     network, cycle, protected = _prepare_network(count, degree, seed)
-    if resolve_workers(workers) > 1 or observed:
+    if shards is None and (resolve_workers(workers) > 1 or observed):
         cells = parallel_starmap(
             _fig2_cell,
-            [(count, degree, seed, tau, shards, criterion) for tau in taus],
+            [(count, degree, seed, tau, None, criterion) for tau in taus],
             workers=workers,
         )
     else:
         # Serial path reuses the one prepared network instead of letting
-        # each cell rebuild it.
+        # each cell rebuild it.  Sharded runs always take it: the
+        # schedule itself is then the parallel unit — ``workers`` sizes
+        # each cell's shard worker pool (coordinator-driven, so chaos
+        # and attribution accounting stay in this process) instead of
+        # fanning whole cells.
         cells = []
         for tau in taus:
             initially_tau = (
@@ -200,6 +209,7 @@ def run_fig2_vertex_deletion(
             result = dcc_schedule(
                 network.graph, protected, tau, rng=random.Random(seed + tau),
                 shards=shards,
+                workers=workers if shards is not None else 1,
             )
             cells.append(
                 (

@@ -28,8 +28,20 @@ extraction over ``runtime/`` (:mod:`repro.checks.protocol`, REPRO20x),
 locality flow analysis (:mod:`repro.checks.locality`, REPRO21x), and
 bounded model checking of the extracted contract over all delivery
 interleavings on small graphs (:mod:`repro.checks.model`, REPRO22x).
+
+A third front, ``repro-race`` (:mod:`repro.checks.race_cli`), verifies
+the *process-parallel layer's ownership and lifecycle contracts*
+(:mod:`repro.checks.concurrency`, REPRO30x): the shm segment state
+machine (coordinator creates/unlinks, workers attach/copy/drop), the
+pool-boundary channel audit (only compact picklable data crosses), the
+fork-inheritance discipline for module-level state, and the declared
+knob registry (:mod:`repro.knobs`).  Its dynamic counterpart is the
+``REPRO_CHAOS`` order sanitizer in :mod:`repro.parallel.runner`, which
+adversarially permutes completion/consumption order while CI asserts
+schedules stay byte-identical.
 """
 
+from repro.checks.concurrency import CONCURRENCY_RULES, concurrency_rules
 from repro.checks.engine import (
     Baseline,
     Finding,
@@ -59,6 +71,7 @@ from repro.checks.sanitizer import (
 
 __all__ = [
     "Baseline",
+    "CONCURRENCY_RULES",
     "DEFAULT_RULES",
     "Finding",
     "LintEngine",
@@ -72,6 +85,7 @@ __all__ = [
     "check_constants",
     "check_merge_associativity",
     "check_model",
+    "concurrency_rules",
     "current_sanitizer",
     "default_locality_rules",
     "disable_sanitizer",

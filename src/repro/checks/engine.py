@@ -270,10 +270,12 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(rows)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(
+    findings: Sequence[Finding], format: str = "repro-lint/v1"
+) -> str:
     """Stable JSON: findings sorted by (path, rule, line), sorted keys."""
     payload = {
-        "format": "repro-lint/v1",
+        "format": format,
         "count": len(findings),
         "findings": [
             f.as_dict() for f in sorted(findings, key=lambda f: f.sort_key)

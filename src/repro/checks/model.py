@@ -43,7 +43,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import combinations, permutations
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.checks.engine import Finding
 from repro.checks.protocol import FloodSpec, ProtocolContract
@@ -400,7 +400,7 @@ def check_model(
     contract: ProtocolContract,
     taus: Sequence[int] = (3, 5),
     max_n: int = 6,
-    tracer=None,
+    tracer: Optional[Any] = None,
 ) -> ModelReport:
     """Model-check ``contract`` on the small-graph catalog.
 

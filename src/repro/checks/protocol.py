@@ -40,7 +40,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.checks.engine import Finding, apply_suppressions
 
@@ -243,7 +243,9 @@ def _contains(haystack: ast.AST, needle: ast.AST) -> bool:
     return any(node is needle for node in ast.walk(haystack))
 
 
-def _test_mentions(test: ast.expr, attr: str, check) -> bool:
+def _test_mentions(
+    test: ast.expr, attr: str, check: Callable[[ast.Compare], bool]
+) -> bool:
     """Does ``test`` contain a Compare on ``<x>.attr`` satisfying ``check``?"""
     for node in ast.walk(test):
         if not isinstance(node, ast.Compare):

@@ -1,0 +1,128 @@
+"""``repro-race``: ownership & lifecycle verification for the parallel layer.
+
+Examples::
+
+    repro-race src/
+    repro-race src/repro/parallel --json
+    repro-race src/ --update-baseline   # park current findings
+    repro-race --list-rules
+
+Runs the REPRO3xx concurrency family (:mod:`repro.checks.concurrency`)
+— shm segment lifecycle, pool-boundary channel audit, fork-inheritance
+safety, the knob registry — through the same engine as ``repro-lint``:
+inline ``# repro: allow[RULE]`` suppressions, a committed baseline
+(``repro-race.baseline.json``) and byte-stable text/JSON reports.
+
+Exit status: 0 when no *new* findings (baselined ones are reported as a
+summary line but do not fail), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.checks.concurrency import concurrency_rules
+from repro.checks.engine import Baseline, lint_paths, render_json, render_text
+
+DEFAULT_BASELINE = "repro-race.baseline.json"
+
+REPORT_FORMAT = "repro-race/v1"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description=(
+            "Ownership and lifecycle verifier for the process-parallel "
+            "layer: shm state machine, pool-boundary channels, "
+            "fork-inherited state, knob registry."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit stable JSON instead of text"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rules and exit"
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = list(concurrency_rules())
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name:24s} {rule.summary}")
+        return 0
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
+        rules = [r for r in rules if r.rule_id in wanted or r.name in wanted]
+        unknown = wanted - {r.rule_id for r in rules} - {r.name for r in rules}
+        if unknown:
+            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    baseline_path = root / args.baseline if not Path(args.baseline).is_absolute() \
+        else Path(args.baseline)
+
+    if args.update_baseline:
+        findings, _ = lint_paths(paths, rules, baseline=None, root=root)
+        baseline = Baseline(f.fingerprint() for f in findings)
+        baseline.save(baseline_path)
+        print(f"baseline: {len(baseline)} findings -> {baseline_path}")
+        return 0
+
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    fresh, parked = lint_paths(paths, rules, baseline=baseline, root=root)
+    if args.json:
+        print(render_json(fresh, format=REPORT_FORMAT))
+    else:
+        if fresh:
+            print(render_text(fresh))
+        summary = f"repro-race: {len(fresh)} finding(s)"
+        if parked:
+            summary += f" ({len(parked)} baselined)"
+        print(summary)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ import os
 from collections import deque
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
+from repro import knobs
 from repro.cycles.horton import ShortCycleSpan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import current_metrics, current_tracer
@@ -63,7 +64,7 @@ class Violation:
 # ----------------------------------------------------------------------
 # Dict oracles (deliberately independent of the CSR kernel)
 # ----------------------------------------------------------------------
-def _dict_bfs(graph, source: int, cutoff: Optional[int]) -> Dict[int, int]:
+def _dict_bfs(graph: Any, source: int, cutoff: Optional[int]) -> Dict[int, int]:
     """Truncated BFS over the raw adjacency sets — no CSR involvement."""
     dist = {source: 0}
     frontier = deque([source])
@@ -79,12 +80,12 @@ def _dict_bfs(graph, source: int, cutoff: Optional[int]) -> Dict[int, int]:
     return dist
 
 
-def oracle_ball(graph, v: int, radius: int) -> FrozenSet[int]:
+def oracle_ball(graph: Any, v: int, radius: int) -> FrozenSet[int]:
     """The dict-oracle k-ball (includes ``v``)."""
     return frozenset(_dict_bfs(graph, v, radius))
 
 
-def oracle_deletable(graph, v: int, tau: int) -> bool:
+def oracle_deletable(graph: Any, v: int, tau: int) -> bool:
     """Definition 5 on the dict oracle: punctured k-ball, connectivity,
     short-cycle span — every step forced onto the non-kernel path."""
     k = math.ceil(tau / 2)
@@ -194,7 +195,7 @@ class Sanitizer:
         )
 
     # -- engine hooks --------------------------------------------------
-    def check_fresh_verdict(self, graph, v: int, tau: int, verdict: bool) -> None:
+    def check_fresh_verdict(self, graph: Any, v: int, tau: int, verdict: bool) -> None:
         """A fresh kernel verdict against the full dict-oracle recompute."""
         self._count("fresh_verdict")
         expected = oracle_deletable(graph, v, tau)
@@ -207,7 +208,7 @@ class Sanitizer:
                 oracle=expected,
             )
 
-    def check_cached_verdict(self, graph, v: int, tau: int, verdict: bool) -> None:
+    def check_cached_verdict(self, graph: Any, v: int, tau: int, verdict: bool) -> None:
         """A verdict-cache hit against a fresh recompute (stride-sampled)."""
         self._hit_tick += 1
         if self._hit_tick % self.stride:
@@ -223,7 +224,7 @@ class Sanitizer:
                 oracle=expected,
             )
 
-    def check_batch_verdict(self, graph, v: int, tau: int, verdict: bool) -> None:
+    def check_batch_verdict(self, graph: Any, v: int, tau: int, verdict: bool) -> None:
         """A batched-kernel verdict against the dict oracle (stride-sampled).
 
         The batch path answers hundreds of candidates per call, so unlike
@@ -247,7 +248,7 @@ class Sanitizer:
             )
 
     def check_ball(
-        self, graph, v: int, radius: int, ball: Iterable[int]
+        self, graph: Any, v: int, radius: int, ball: Iterable[int]
     ) -> None:
         """A kernel k-ball against the dict BFS."""
         self._count("ball")
@@ -263,7 +264,7 @@ class Sanitizer:
             )
 
     def check_ball_intersects(
-        self, graph, v: int, radius: int, blockers: Set[int], hit: bool
+        self, graph: Any, v: int, radius: int, blockers: Set[int], hit: bool
     ) -> None:
         """The MIS separation probe against the dict-oracle ball."""
         self._count("ball_intersects")
@@ -336,10 +337,7 @@ def disable_sanitizer() -> None:
 
 
 def _env_stride() -> int:
-    try:
-        return int(os.environ.get("REPRO_SANITIZE_STRIDE", "1"))
-    except ValueError:
-        return 1
+    return knobs.get_int("REPRO_SANITIZE_STRIDE")
 
 
 def _init_from_env() -> None:

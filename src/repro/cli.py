@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.checks.sanitizer import current_sanitizer, enable_sanitizer
+from repro.parallel.runner import chaos_summary
 from repro.analysis.experiments import (
     run_fig1_mobius,
     run_fig2_vertex_deletion,
@@ -243,6 +244,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  [{name} took {tracer.last_span().wall_s:.1f}s]\n")
     if sanitizer is not None:
         print(sanitizer.summary())
+    chaos_line = chaos_summary()
+    if chaos_line is not None:
+        # To stderr: a REPRO_CHAOS run's stdout must stay byte-identical
+        # to the serial baseline (the CI acceptance diff).
+        print(chaos_line, file=sys.stderr)
     if args.trace:
         count = write_trace_jsonl(tracer, args.trace)
         print(f"trace: {count} spans -> {args.trace}")

@@ -49,10 +49,11 @@ missing entirely.
 
 from __future__ import annotations
 
-import os
 import weakref
 from itertools import chain
 from typing import List, Optional, Sequence
+
+from repro import knobs
 
 try:  # pragma: no cover - exercised by the import-time environment
     import numpy as np
@@ -107,8 +108,7 @@ def batch_verdicts_enabled() -> bool:
     Schedules are byte-identical either way — the knob only moves where
     the verdicts are computed.
     """
-    value = os.environ.get("REPRO_BATCH_VERDICTS", "")
-    if value.strip().lower() in ("", "0", "false", "off"):
+    if not knobs.get_flag("REPRO_BATCH_VERDICTS"):
         return False
     return np is not None
 

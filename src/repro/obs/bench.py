@@ -40,17 +40,16 @@ import timeit
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import knobs
 from repro.obs.export import merge_json_entry
 
 BENCH_SCHEMA = "repro.bench/v2"
 
-#: environment knobs that change what (or how) the benches compute
-KNOB_NAMES = (
-    "REPRO_BATCH_VERDICTS",
-    "REPRO_SHM",
-    "REPRO_FANOUT_MIN_NODES",
-    "REPRO_SANITIZE",
-)
+#: environment knobs that change what (or how) the benches compute —
+#: derived from the declared registry (every knob marked fingerprint)
+#: so a new determinism-relevant knob can never silently escape the
+#: environment stamp.
+KNOB_NAMES = knobs.knob_names(fingerprint=True)
 
 #: fingerprint keys (never diffed as measurements)
 FINGERPRINT_KEYS = frozenset(

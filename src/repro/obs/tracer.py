@@ -357,6 +357,20 @@ def current_metrics():
     return _CURRENT_METRICS
 
 
+def reset_ambient() -> None:
+    """Reset the ambient observer slots to their import-time defaults.
+
+    Worker bootstraps call this so forked pool workers never observe
+    through a tracer/metrics pair inherited from the coordinator
+    (fork-inheritance hygiene, REPRO307): workers capture through
+    explicit task-local observers whose payloads merge back in
+    submission order.
+    """
+    global _CURRENT_TRACER, _CURRENT_METRICS
+    _CURRENT_TRACER = NULL_TRACER
+    _CURRENT_METRICS = None
+
+
 class _Observation:
     """Context manager installing an ambient tracer/metrics pair."""
 

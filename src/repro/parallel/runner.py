@@ -44,8 +44,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import random
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import (
     Any,
     Callable,
@@ -57,6 +59,7 @@ from typing import (
     Tuple,
 )
 
+from repro import knobs
 from repro.checks.sanitizer import current_sanitizer
 from repro.cycles.batch import batch_verdicts_enabled
 from repro.parallel.shm import (
@@ -75,6 +78,7 @@ from repro.obs.tracer import (
     current_metrics,
     current_tracer,
     observe,
+    reset_ambient,
 )
 from repro.topology import TopologyCounters
 
@@ -83,21 +87,98 @@ from repro.topology import TopologyCounters
 #: in process startup, graph shipping and per-round IPC than the verdicts
 #: themselves (BENCH_kernel.json: 250-node fig2 at workers=2 ran 13x
 #: slower than serial).  Calibrated well above the measured break-even so
-#: borderline jobs stay on the always-safe serial path.
-SCHEDULE_FANOUT_MIN_NODES = 2000
+#: borderline jobs stay on the always-safe serial path.  The value lives
+#: in the knob registry (one documented default for the constant *and*
+#: the ``REPRO_FANOUT_MIN_NODES`` override); this name is kept as a
+#: read-only alias for callers and benchmarks.
+SCHEDULE_FANOUT_MIN_NODES = int(knobs.knob("REPRO_FANOUT_MIN_NODES").default or 0)
 
 
 def fanout_crossover() -> int:
-    """The fan-out crossover in graph vertices.
+    """The effective fan-out crossover in graph vertices.
 
-    ``REPRO_FANOUT_MIN_NODES`` overrides the built-in default — tests
+    ``REPRO_FANOUT_MIN_NODES`` overrides the registry default — tests
     set it to ``0`` to force the pool on small graphs, benchmarks record
     the effective value next to their timings.
     """
-    value = os.environ.get("REPRO_FANOUT_MIN_NODES")
-    if value is None:
-        return SCHEDULE_FANOUT_MIN_NODES
-    return int(value)
+    return knobs.get_int("REPRO_FANOUT_MIN_NODES")
+
+
+# ----------------------------------------------------------------------
+# Chaos-order sanitizer (REPRO_CHAOS)
+# ----------------------------------------------------------------------
+class ChaosSchedule:
+    """Seeded adversarial perturbation of completion/consumption order.
+
+    The determinism contract says outputs never depend on *when* tasks
+    complete, only on the submission-order consumption of their results.
+    With ``REPRO_CHAOS`` on, every pool barrier waits on its futures (or
+    drains its pipes) in a seeded-permuted order and every worker sleeps
+    a tiny seeded delay before replying — the adversarial schedule the
+    contract claims to be immune to.  Reports and schedules must stay
+    byte-identical to the serial baseline; CI asserts exactly that.
+
+    The permutation stream is its own :class:`random.Random` so chaos
+    never consumes the scheduler's RNG.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.permutations = 0
+        self._rng = random.Random(seed)
+
+    def permuted(self, items: Iterable[Any]) -> List[Any]:
+        """A seeded shuffle of ``items`` (counted as one perturbation)."""
+        out = list(items)
+        self._rng.shuffle(out)
+        self.permutations += 1
+        return out
+
+    def delay(self) -> None:
+        """Sleep 0-2ms from the seeded stream (worker-side jitter)."""
+        time.sleep(self._rng.random() * 0.002)
+
+
+_CHAOS: Optional[ChaosSchedule] = None
+
+
+def current_chaos() -> Optional[ChaosSchedule]:
+    """The process-local chaos harness, or ``None`` when REPRO_CHAOS is off.
+
+    Gated at call time so tests flip it per case; the harness itself is
+    created once per process (the perturbation counter spans the run)
+    from the env-exported seed, so pool workers — which inherit the
+    environment — build their own worker-local stream.
+    """
+    global _CHAOS
+    if not knobs.get_flag("REPRO_CHAOS"):
+        return None
+    if _CHAOS is None:
+        _CHAOS = ChaosSchedule(knobs.get_int("REPRO_CHAOS_SEED"))
+    return _CHAOS
+
+
+def chaos_summary() -> Optional[str]:
+    """One summary line for the CLI, or ``None`` if chaos never ran."""
+    if _CHAOS is None:
+        return None
+    return (
+        f"chaos: {_CHAOS.permutations} perturbed orders (seed {_CHAOS.seed})"
+    )
+
+
+def _chaos_wait(futures: Sequence[Future]) -> None:
+    """Under chaos, block on ``futures`` in a seeded-permuted order.
+
+    Results are still *consumed* in submission order by the caller;
+    this only forces them to materialize in an adversarial order.
+    ``Future.exception()`` waits without raising, so the first failure
+    still propagates from the submission-order consumption loop.
+    """
+    chaos = current_chaos()
+    if chaos is not None:
+        for future in chaos.permuted(futures):
+            future.exception()
 
 
 def fanout_worthwhile(job_size: int, workers: Optional[int]) -> bool:
@@ -157,6 +238,11 @@ def _observed_call(
     index, e.g. ``task3``), so merged spans carry a deterministic
     ``proc`` attribute and true timeline positions.
     """
+    chaos = current_chaos()
+    if chaos is not None:
+        # Seeded jitter (pool workers inherit REPRO_CHAOS through the
+        # environment): perturbs completion order, never results.
+        chaos.delay()
     tracer = Tracer()
     metrics = MetricsRegistry()
     with observe(tracer, metrics):
@@ -226,11 +312,13 @@ def parallel_starmap(
     ) as pool:
         if not capture:
             futures = [pool.submit(func, *task) for task in tasks]
+            _chaos_wait(futures)
             return [future.result() for future in futures]
         futures = [
             pool.submit(_observed_call, f"task{i}", func, *task)
             for i, task in enumerate(tasks)
         ]
+        _chaos_wait(futures)
         results = [
             consume(i, future.result()) for i, future in enumerate(futures)
         ]
@@ -277,6 +365,10 @@ def _init_schedule_worker(source, tau: int) -> None:
     global _WORKER_ENGINE, _WORKER_APPLIED
     from repro.topology import LocalTopologyEngine
 
+    # Fork-inheritance hygiene (REPRO307): drop any ambient observers
+    # inherited from the coordinator — workers observe through explicit
+    # capture-local tracers only.
+    reset_ambient()
     if isinstance(source, ShmSource):
         graph = attach_graph(source.descriptor)
     else:
@@ -299,6 +391,11 @@ def _test_candidates(
     afterwards so later uncaptured rounds pay the null-tracer guard only.
     """
     global _WORKER_APPLIED
+    chaos = current_chaos()
+    if chaos is not None:
+        # Seeded worker-side jitter: perturbs which chunk finishes
+        # first, never what any chunk computes.
+        chaos.delay()
     engine = _WORKER_ENGINE
     for v in log[_WORKER_APPLIED:]:
         engine.delete_vertex(v)
@@ -350,18 +447,27 @@ class ScheduleFanout:
         self.capture = capture
         self._log: List[int] = []
         self._segment: Optional[SharedBlocks] = None
-        if shm_enabled() and shm_available():
-            # Publish once; every worker attaches the same segment
-            # instead of unpickling its own copy of the graph.
-            self._segment = publish_graph(graph)
-            source: Any = ShmSource(self._segment.descriptor)
-        else:
-            source = compact_graph_blob(graph)
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_schedule_worker,
-            initargs=(source, tau),
-        )
+        try:
+            if shm_enabled() and shm_available():
+                # Publish once; every worker attaches the same segment
+                # instead of unpickling its own copy of the graph.
+                self._segment = publish_graph(graph)
+                source: Any = ShmSource(self._segment.descriptor)
+            else:
+                source = compact_graph_blob(graph)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_schedule_worker,
+                initargs=(source, tau),
+            )
+        except BaseException:
+            # Coordinator ownership holds on the failure path too: a
+            # published segment must not outlive a pool that never
+            # started (/dev/shm leaks survive the process).
+            if self._segment is not None:
+                self._segment.close()
+                self._segment = None
+            raise
 
     def record_deletions(self, batch: Iterable[int]) -> None:
         self._log.extend(batch)
@@ -388,6 +494,7 @@ class ScheduleFanout:
                 chunk_evenly(list(candidates), self.workers)
             )
         ]
+        _chaos_wait(futures)
         out: Dict[int, bool] = {}
         for index, future in enumerate(futures):
             chunk, verdicts, delta, trace_payload = future.result()
@@ -399,10 +506,15 @@ class ScheduleFanout:
         return out
 
     def close(self) -> None:
-        self._pool.shutdown(wait=False, cancel_futures=True)
-        if self._segment is not None:
-            self._segment.close()
-            self._segment = None
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            # Unlink even when shutdown itself blows up (e.g. a worker
+            # crashed hard): the segment is the only state that would
+            # survive this process.
+            if self._segment is not None:
+                self._segment.close()
+                self._segment = None
 
     def __enter__(self) -> "ScheduleFanout":
         return self
@@ -426,6 +538,10 @@ def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
     """
     from repro.shard.runtime import LocalShard
 
+    # Fork-inheritance hygiene (REPRO307): shard workers never observe
+    # through the coordinator's ambient tracer.
+    reset_ambient()
+    chaos = current_chaos()
     hosted = {
         index: LocalShard(index, tau, source, capture=capture)
         for index, source in inits
@@ -436,6 +552,10 @@ def _shard_worker_main(conn, inits, tau: int, capture: bool) -> None:
             kind, payload = conn.recv()
             if kind == "stop":
                 break
+            if chaos is not None:
+                # Seeded jitter: workers reply to the barrier in an
+                # adversarial order; the decisions are unchanged.
+                chaos.delay()
             try:
                 out = None
                 if kind == "begin":
@@ -510,45 +630,79 @@ class ShardWorkerPool:
         if workers < 2:
             raise ValueError("ShardWorkerPool needs at least 2 workers")
         self._segments: List[SharedBlocks] = []
-        if shm_enabled() and shm_available():
-            sources: List[Any] = []
-            for spec in specs:
-                segment = publish_partition(graph, spec)
-                self._segments.append(segment)
-                sources.append(ShmSource(segment.descriptor))
-        else:
-            sources = [partition_parts(graph, spec) for spec in specs]
-        inits = list(enumerate(sources))
-        assignments = chunk_evenly(inits, workers)
-        self._assigned: List[List[int]] = [
-            [index for index, __ in chunk] for chunk in assignments
-        ]
         self._procs: List[multiprocessing.Process] = []
-        self._conns = []
-        for chunk in assignments:
-            parent_conn, child_conn = multiprocessing.Pipe()
-            proc = multiprocessing.Process(
-                target=_shard_worker_main,
-                args=(child_conn, list(chunk), tau, capture),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+        self._conns: List[Any] = []
+        try:
+            if shm_enabled() and shm_available():
+                sources: List[Any] = []
+                for spec in specs:
+                    segment = publish_partition(graph, spec)
+                    self._segments.append(segment)
+                    sources.append(ShmSource(segment.descriptor))
+            else:
+                sources = [partition_parts(graph, spec) for spec in specs]
+            inits = list(enumerate(sources))
+            assignments = chunk_evenly(inits, workers)
+            self._assigned: List[List[int]] = [
+                [index for index, __ in chunk] for chunk in assignments
+            ]
+            for chunk in assignments:
+                parent_conn, child_conn = multiprocessing.Pipe()
+                proc = multiprocessing.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, list(chunk), tau, capture),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            # A partially-built pool still owns everything it published
+            # and spawned; close() tolerates the partial state.
+            self.close()
+            raise
 
     def _roundtrip(self, kind: str, payloads: List[Any]) -> List[Any]:
-        for conn, payload in zip(self._conns, payloads):
-            conn.send((kind, payload))
-        outs: List[Any] = []
-        failure: Optional[str] = None
-        for conn in self._conns:
-            status, out = conn.recv()
-            if status == "error" and failure is None:
-                failure = out
-            outs.append(out)
-        if failure is not None:
-            raise RuntimeError(f"shard worker failed:\n{failure}")
+        # Under chaos, sends and receives are both permuted: each pipe
+        # carries only its own worker's reply, so the drain order across
+        # pipes is free — exactly the freedom the determinism contract
+        # claims not to depend on.
+        chaos = current_chaos()
+        indices = list(range(len(self._conns)))
+        for i in chaos.permuted(indices) if chaos is not None else indices:
+            try:
+                self._conns[i].send((kind, payloads[i]))
+            except (BrokenPipeError, OSError):
+                # Dead before the request even landed: same deterministic
+                # error as a mid-reply death, same cleanup path (the
+                # scheduler's finally runs close(), which unlinks every
+                # published segment).
+                raise RuntimeError(
+                    f"shard worker {i} died mid-schedule "
+                    f"(pipe closed before {kind!r})"
+                ) from None
+        outs: List[Any] = [None] * len(self._conns)
+        failures: Dict[int, str] = {}
+        for i in chaos.permuted(indices) if chaos is not None else indices:
+            try:
+                status, out = self._conns[i].recv()
+            except EOFError:
+                # The worker died without replying (crash, OOM kill).
+                # Raising here lands in the scheduler's finally, whose
+                # close() still unlinks every published segment.
+                raise RuntimeError(
+                    f"shard worker {i} died mid-schedule "
+                    f"(no reply to {kind!r})"
+                ) from None
+            if status == "error":
+                failures[i] = out
+            outs[i] = out
+        if failures:
+            # Deterministic pick regardless of the drain order above.
+            raise RuntimeError(
+                f"shard worker failed:\n{failures[min(failures)]}"
+            )
         return outs
 
     def _merged(self, kind: str, payloads: List[Any]) -> Dict[int, Any]:
@@ -595,20 +749,24 @@ class ShardWorkerPool:
         return self._merged("finish", [None] * len(self._conns))
 
     def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("stop", None))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive teardown
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
-        for segment in self._segments:
-            segment.close()
-        self._segments = []
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send(("stop", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive teardown
+                    proc.terminate()
+            for conn in self._conns:
+                conn.close()
+        finally:
+            # Segment unlink is the part that must survive any teardown
+            # failure above: /dev/shm outlives the coordinator process.
+            segments, self._segments = self._segments, []
+            for segment in segments:
+                segment.close()
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

@@ -35,8 +35,9 @@ suite pins the two paths to identical schedules and counters.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import knobs
 
 try:  # pragma: no cover - exercised by the import-time environment
     import numpy as np
@@ -61,14 +62,12 @@ from repro.shard.segment import (  # noqa: F401  (re-exported)
 def shm_enabled() -> bool:
     """Is the shared-memory transport requested (``REPRO_SHM``)?
 
-    Default **off**; ``""``, ``"0"``, ``"false"``, ``"off"`` (any case)
-    disable.  Read at call time so tests can flip it per case.  The
-    transport additionally requires numpy and a usable
-    ``shared_memory`` module — callers combine this with
-    :func:`shm_available`.
+    Default **off** (the registry default in :mod:`repro.knobs`); read
+    at call time so tests can flip it per case.  The transport
+    additionally requires numpy and a usable ``shared_memory`` module —
+    callers combine this with :func:`shm_available`.
     """
-    value = os.environ.get("REPRO_SHM", "")
-    return value.strip().lower() not in ("", "0", "false", "off")
+    return knobs.get_flag("REPRO_SHM")
 
 
 def shm_available() -> bool:
@@ -127,13 +126,22 @@ def publish_blocks(
     segment = shared_memory.SharedMemory(
         create=True, size=max(total, 1) * 8
     )
-    view = np.ndarray((total,), dtype=np.int64, buffer=segment.buf)
-    layout: List[Tuple[str, int, int]] = []
-    offset = 0
-    for field, array in arrays:
-        view[offset : offset + array.size] = array
-        layout.append((field, offset, array.size))
-        offset += array.size
+    try:
+        view = np.ndarray((total,), dtype=np.int64, buffer=segment.buf)
+        layout: List[Tuple[str, int, int]] = []
+        offset = 0
+        for field, array in arrays:
+            view[offset : offset + array.size] = array
+            layout.append((field, offset, array.size))
+            offset += array.size
+        del view
+    except BaseException:
+        # The segment has no owner yet: unlink here or it leaks in
+        # /dev/shm past this process (create is dominated by a
+        # close/unlink on every exit path — REPRO302's contract).
+        segment.close()
+        segment.unlink()
+        raise
     return SharedBlocks(segment, (segment.name, tuple(layout)))
 
 

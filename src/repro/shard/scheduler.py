@@ -149,6 +149,7 @@ def sharded_dcc_schedule(
     from repro.parallel.runner import (
         ShardWorkerPool,
         chunk_evenly,
+        current_chaos,
         resolve_workers,
     )
 
@@ -278,6 +279,15 @@ def sharded_dcc_schedule(
                             undecided_total += undecided
                         if undecided_total == 0:
                             break
+                        chaos = current_chaos()
+                        if chaos is not None and statuses:
+                            # Adversarial insertion order into the
+                            # exchange: route() sorts sources ascending,
+                            # so deliveries must not depend on it.
+                            statuses = {
+                                index: statuses[index]
+                                for index in chaos.permuted(statuses)
+                            }
                         # Foreign statuses piggyback on the next request:
                         # one roundtrip per barrier instead of two.
                         deliveries = _route_traced(

@@ -1,0 +1,154 @@
+"""Unit tests for the declared knob registry (repro.knobs).
+
+The registry is the single source of truth for every ``REPRO_*``
+environment variable: the accessors parse through it, the bench
+fingerprint derives its knob set from it, the README/EXPERIMENTS table
+is generated from it, and the drift tests here keep all three in sync
+with the source tree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import knobs
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_sorted_unique_names(self):
+        names = [k.name for k in knobs.KNOBS]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_every_entry_is_complete(self):
+        for k in knobs.KNOBS:
+            assert k.name.startswith("REPRO_")
+            assert k.kind in ("flag", "int", "str")
+            assert k.layer
+            assert k.description
+
+    def test_lookup_and_unknown_hint(self):
+        assert knobs.knob("REPRO_SHM").kind == "flag"
+        with pytest.raises(KeyError, match="REPRO308"):
+            knobs.knob("REPRO_NOPE")
+
+    def test_knob_names_filters(self):
+        assert knobs.knob_names() == tuple(k.name for k in knobs.KNOBS)
+        fingerprinted = knobs.knob_names(fingerprint=True)
+        assert "REPRO_SHM" in fingerprinted
+        assert "REPRO_CHAOS" in fingerprinted
+        assert "REPRO_BENCH_SCALE" not in fingerprinted
+        assert set(knobs.knob_names(layer="parallel")) <= set(
+            knobs.knob_names()
+        )
+
+
+class TestAccessors:
+    def test_flag_false_words(self, monkeypatch):
+        for word in ("", "0", "false", "off", "no", "False", "OFF"):
+            monkeypatch.setenv("REPRO_SHM", word)
+            assert knobs.get_flag("REPRO_SHM") is False
+        monkeypatch.delenv("REPRO_SHM")
+        assert knobs.get_flag("REPRO_SHM") is False
+        for word in ("1", "true", "yes", "warn"):
+            monkeypatch.setenv("REPRO_SHM", word)
+            assert knobs.get_flag("REPRO_SHM") is True
+
+    def test_int_default_and_parse(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FANOUT_MIN_NODES", raising=False)
+        assert knobs.get_int("REPRO_FANOUT_MIN_NODES") == 2000
+        monkeypatch.setenv("REPRO_FANOUT_MIN_NODES", "17")
+        assert knobs.get_int("REPRO_FANOUT_MIN_NODES") == 17
+        monkeypatch.setenv("REPRO_FANOUT_MIN_NODES", "not-a-number")
+        assert knobs.get_int("REPRO_FANOUT_MIN_NODES") == 2000
+
+    def test_int_without_declared_default_raises_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SHARDS", raising=False)
+        with pytest.raises(ValueError):
+            knobs.get_int("REPRO_BENCH_SHARDS")
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "3")
+        assert knobs.get_int("REPRO_BENCH_SHARDS") == 3
+
+    def test_str_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert knobs.get_str("REPRO_BENCH_SCALE") == "full"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert knobs.get_str("REPRO_BENCH_SCALE") == "smoke"
+
+
+class TestConsumersAgree:
+    def test_fanout_crossover_reads_the_registry(self, monkeypatch):
+        from repro.parallel.runner import (
+            SCHEDULE_FANOUT_MIN_NODES,
+            fanout_crossover,
+        )
+
+        declared = int(knobs.knob("REPRO_FANOUT_MIN_NODES").default)
+        assert SCHEDULE_FANOUT_MIN_NODES == declared == 2000
+        monkeypatch.delenv("REPRO_FANOUT_MIN_NODES", raising=False)
+        assert fanout_crossover() == declared
+        monkeypatch.setenv("REPRO_FANOUT_MIN_NODES", "0")
+        assert fanout_crossover() == 0
+
+    def test_bench_fingerprint_derives_from_registry(self):
+        from repro.obs.bench import KNOB_NAMES
+
+        assert KNOB_NAMES == knobs.knob_names(fingerprint=True)
+
+
+class TestDrift:
+    def test_every_env_token_in_tree_is_declared(self):
+        """No REPRO_* env name appears in src/benchmarks undeclared."""
+        token = re.compile(r"\bREPRO_[A-Z][A-Z_]*\b")
+        declared = set(knobs.knob_names())
+        undeclared = {}
+        for base in ("src", "benchmarks"):
+            for path in sorted((REPO_ROOT / base).rglob("*.py")):
+                for name in token.findall(path.read_text()):
+                    if name not in declared:
+                        undeclared.setdefault(name, path.name)
+        assert not undeclared, f"undeclared knob tokens: {undeclared}"
+
+    def test_docs_tables_are_current(self):
+        """README/EXPERIMENTS carry the generated table verbatim."""
+        block = knobs.docs_block()
+        for name in ("README.md", "EXPERIMENTS.md"):
+            text = (REPO_ROOT / name).read_text()
+            assert block in text, (
+                f"{name} knob table is stale: run `python -m repro.knobs "
+                "--write`"
+            )
+        assert (
+            knobs.update_docs(
+                [REPO_ROOT / "README.md", REPO_ROOT / "EXPERIMENTS.md"],
+                check=True,
+            )
+            == []
+        )
+
+    def test_update_docs_requires_markers(self, tmp_path):
+        target = tmp_path / "DOC.md"
+        target.write_text("no markers here\n")
+        with pytest.raises(ValueError):
+            knobs.update_docs([target])
+
+    def test_update_docs_rewrites_stale_block(self, tmp_path):
+        target = tmp_path / "DOC.md"
+        target.write_text(
+            f"prefix\n{knobs.DOCS_BEGIN}\nstale\n{knobs.DOCS_END}\nsuffix\n"
+        )
+        assert knobs.update_docs([target]) == [target]
+        assert knobs.docs_block() in target.read_text()
+        assert knobs.update_docs([target], check=True) == []
+
+    def test_cli_check_mode(self, tmp_path, capsys):
+        target = tmp_path / "DOC.md"
+        target.write_text(f"{knobs.DOCS_BEGIN}\nstale\n{knobs.DOCS_END}\n")
+        assert knobs.main(["--check", str(target)]) == 1
+        assert knobs.main(["--write", str(target)]) == 0
+        assert knobs.main(["--check", str(target)]) == 0

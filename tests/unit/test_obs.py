@@ -775,3 +775,128 @@ class TestLaneTimeline:
         # Contiguous spans coalesce into busy blocks: far fewer rects.
         assert svg.count("<rect") < 50
         assert "chunk0" in svg
+
+
+# ----------------------------------------------------------------------
+# Attribution edge cases: degenerate schedules and skewed clocks
+# ----------------------------------------------------------------------
+class TestAttributionEdgeCases:
+    def test_zero_round_sharded_stream_returns_none(self):
+        # A run that configured shards but never scheduled a round
+        # (e.g. every vertex protected before round 0 opened) carries a
+        # config marker and setup spans but no lanes to attribute.
+        spans = [
+            _span(
+                "shard.config", 0, 0.0,
+                shards=2, workers=2, assignment=[[0], [1]],
+            ),
+            _span("shm.attach", 1, 0.01, proc="shard0"),
+        ]
+        assert attribute_spans(spans) is None
+
+    def test_zero_round_run_does_not_poison_siblings(self):
+        # Two back-to-back runs where the first is empty: the empty one
+        # is filtered, the real one attributes normally.
+        empty = [
+            _span(
+                "shard.config", 0, 0.0,
+                shards=2, workers=2, assignment=[[0], [1]],
+            )
+        ]
+        attribution = attribute_spans(empty + _sharded_segment())
+        assert attribution is not None
+        assert len(attribution["runs"]) == 1
+        assert attribution["totals"]["rounds"] == 1
+
+    def test_single_shard_run_has_no_halo_or_wait(self):
+        spans = [
+            _span("shard.config", 0, 0.0, shards=1, workers=1, assignment=[[0]]),
+            _span(
+                "shard.subround", 1, 0.3,
+                start_s=0.05, shard=0, round=0, subround=0, proc="shard0",
+            ),
+            _span("shard.barrier", 1, 0.35, start_s=0.02, round=0, subround=0),
+            _span("scheduler.round", 0, 0.4, start_s=0.0, round=0, mode="sharded"),
+        ]
+        attribution = attribute_spans(spans)
+        (run,) = attribution["runs"]
+        (row,) = run["rounds"]
+        assert row["compute_s"] == pytest.approx(0.3)
+        assert row["barrier_wait_s"] == pytest.approx(0.05)
+        assert row["halo_s"] == 0.0
+        assert (row["halo_rows"], row["halo_bytes"]) == (0, 0)
+        assert row["straggler_spread_s"] == 0.0
+        assert run["per_shard"] == [
+            {"shard": 0, "busy_s": pytest.approx(0.3), "subrounds": 1}
+        ]
+        lanes = (
+            row["compute_s"]
+            + row["barrier_wait_s"]
+            + row["halo_s"]
+            + row["merge_s"]
+        )
+        assert lanes == pytest.approx(row["wall_s"])
+
+    def test_clock_skewed_epochs_keep_lanes_nonnegative(self):
+        # A worker whose per-process epoch ran fast reports busy time
+        # exceeding the coordinator's barrier (and even round) wall.
+        # The clamps absorb the skew: wait and merge floor at zero, no
+        # lane ever goes negative.
+        spans = [
+            _span(
+                "shard.config", 0, 0.0,
+                shards=2, workers=2, assignment=[[0], [1]],
+            ),
+            _span(
+                "shard.subround", 1, 9.0,
+                start_s=0.05, shard=0, round=0, subround=0, proc="shard0",
+            ),
+            _span(
+                "shard.subround", 1, 0.4,
+                start_s=0.05, shard=1, round=0, subround=0, proc="shard1",
+            ),
+            _span("shard.barrier", 1, 0.5, start_s=0.02, round=0, subround=0),
+            _span(
+                "halo.route", 1, 0.05,
+                start_s=0.52, round=0, kind="status", rows=10, bytes=100,
+            ),
+            _span("scheduler.round", 0, 0.65, start_s=0.0, round=0, mode="sharded"),
+        ]
+        (run,) = attribute_spans(spans)["runs"]
+        (row,) = run["rounds"]
+        assert row["compute_s"] == pytest.approx(9.0)
+        assert row["barrier_wait_s"] == 0.0
+        assert row["merge_s"] == pytest.approx(0.1)
+        for lane in ("compute_s", "barrier_wait_s", "halo_s", "merge_s"):
+            assert row[lane] >= 0.0
+        assert row["straggler_spread_s"] == pytest.approx(8.6)
+
+    def test_end_to_end_fully_protected_schedule(self):
+        # A real sharded schedule in which every vertex is protected:
+        # zero deletions, one empty-draw round.  Attribution must not
+        # crash and every lane it reports must be non-negative.
+        import random
+
+        from repro.network.graph import NetworkGraph
+        from repro.shard import sharded_dcc_schedule
+
+        rng = random.Random(3)
+        graph = NetworkGraph(range(20))
+        for u in range(20):
+            for v in range(u + 1, 20):
+                if rng.random() < 0.25:
+                    graph.add_edge(u, v)
+        tracer = Tracer()
+        result = sharded_dcc_schedule(
+            graph, set(graph.vertices()), 3, random.Random(0),
+            shards=2, tracer=tracer,
+        )
+        assert result.removed == []
+        attribution = attribution_from_tracer(tracer)
+        if attribution is not None:
+            for run in attribution["runs"]:
+                for row in run["rounds"]:
+                    for lane in (
+                        "compute_s", "barrier_wait_s", "halo_s", "merge_s"
+                    ):
+                        assert row[lane] >= 0.0
