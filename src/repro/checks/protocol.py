@@ -950,10 +950,22 @@ def extract_contract(
 #: (relative path, description, matcher name, expected source shape)
 _CONSTANT_CONTRACTS: Tuple[Tuple[str, str, str, str], ...] = (
     (
-        "src/repro/topology/engine.py",
+        "src/repro/topology/radii.py",
         "neighborhood_radius must compute ceil(tau / 2)",
         "return_in:neighborhood_radius",
         "math.ceil(tau / 2)",
+    ),
+    (
+        "src/repro/topology/radii.py",
+        "mis_separation must derive from the deletion radius",
+        "return_in:mis_separation",
+        "deletion_radius(tau) + 1",
+    ),
+    (
+        "src/repro/topology/radii.py",
+        "halo_radius must equal the neighbourhood radius",
+        "return_in:halo_radius",
+        "neighborhood_radius(tau)",
     ),
     (
         "src/repro/core/vpt.py",
@@ -963,9 +975,9 @@ _CONSTANT_CONTRACTS: Tuple[Tuple[str, str, str, str], ...] = (
     ),
     (
         "src/repro/core/scheduler.py",
-        "the MIS separation must be deletion_radius(tau) + 1",
+        "the MIS separation must be the named mis_separation(tau) derivation",
         "assign:separation",
-        "deletion_radius(tau) + 1",
+        "mis_separation(tau)",
     ),
     (
         "src/repro/runtime/protocol.py",

@@ -15,17 +15,19 @@ inline ``# repro: allow[RULE]`` suppressions, a committed baseline
 
 Exit status: 0 when no *new* findings (baselined ones are reported as a
 summary line but do not fail), 1 otherwise.
+
+All shared plumbing (baseline handling, ``--select``, exit codes) lives
+in :mod:`repro.checks.runner`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 from typing import List, Optional
 
 from repro.checks.concurrency import concurrency_rules
-from repro.checks.engine import Baseline, lint_paths, render_json, render_text
+from repro.checks.runner import add_front_args, run_engine_front
 
 DEFAULT_BASELINE = "repro-race.baseline.json"
 
@@ -41,87 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
             "fork-inherited state, knob registry."
         ),
     )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to check (default: src)",
-    )
-    parser.add_argument(
-        "--json", action="store_true", help="emit stable JSON instead of text"
-    )
-    parser.add_argument(
-        "--baseline",
-        metavar="PATH",
-        default=DEFAULT_BASELINE,
-        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
-    )
-    parser.add_argument(
-        "--no-baseline",
-        action="store_true",
-        help="ignore the baseline file: report every finding",
-    )
-    parser.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="write all current findings to the baseline file and exit 0",
-    )
-    parser.add_argument(
-        "--select",
-        metavar="RULES",
-        default=None,
-        help="comma-separated rule ids/names to run (default: all)",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="list the rules and exit"
-    )
-    parser.add_argument(
-        "--root",
-        metavar="DIR",
-        default=None,
-        help="directory paths are reported relative to (default: cwd)",
-    )
-    return parser
+    return add_front_args(parser, DEFAULT_BASELINE)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    rules = list(concurrency_rules())
-    if args.list_rules:
-        for rule in rules:
-            print(f"{rule.rule_id}  {rule.name:24s} {rule.summary}")
-        return 0
-    if args.select:
-        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
-        rules = [r for r in rules if r.rule_id in wanted or r.name in wanted]
-        unknown = wanted - {r.rule_id for r in rules} - {r.name for r in rules}
-        if unknown:
-            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
-            return 2
-    root = Path(args.root).resolve() if args.root else Path.cwd()
-    paths = [Path(p) for p in args.paths]
-    baseline_path = root / args.baseline if not Path(args.baseline).is_absolute() \
-        else Path(args.baseline)
-
-    if args.update_baseline:
-        findings, _ = lint_paths(paths, rules, baseline=None, root=root)
-        baseline = Baseline(f.fingerprint() for f in findings)
-        baseline.save(baseline_path)
-        print(f"baseline: {len(baseline)} findings -> {baseline_path}")
-        return 0
-
-    baseline = None if args.no_baseline else Baseline.load(baseline_path)
-    fresh, parked = lint_paths(paths, rules, baseline=baseline, root=root)
-    if args.json:
-        print(render_json(fresh, format=REPORT_FORMAT))
-    else:
-        if fresh:
-            print(render_text(fresh))
-        summary = f"repro-race: {len(fresh)} finding(s)"
-        if parked:
-            summary += f" ({len(parked)} baselined)"
-        print(summary)
-    return 1 if fresh else 0
+    return run_engine_front(
+        "repro-race",
+        list(concurrency_rules()),
+        args,
+        report_format=REPORT_FORMAT,
+    )
 
 
 if __name__ == "__main__":

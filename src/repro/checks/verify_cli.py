@@ -35,12 +35,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.checks.engine import (
-    Baseline,
-    Finding,
-    LintEngine,
-    render_text,
-)
+from repro.checks.engine import Baseline, Finding, LintEngine, render_text
 from repro.checks.locality import LOCALITY_RULES, default_locality_rules
 from repro.checks.model import MODEL_RULES, ModelReport, check_model
 from repro.checks.protocol import (
@@ -48,6 +43,14 @@ from repro.checks.protocol import (
     ProtocolContract,
     check_constants,
     extract_contract,
+)
+from repro.checks.runner import (
+    add_front_args,
+    parse_front,
+    print_rule_rows,
+    print_summary,
+    split_baseline,
+    write_baseline,
 )
 
 DEFAULT_BASELINE = "repro-verify.baseline.json"
@@ -61,40 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
             "bounded model checking for the distributed DCC runtime."
         ),
     )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to verify (default: src)",
-    )
-    parser.add_argument(
-        "--json", action="store_true", help="emit stable JSON instead of text"
-    )
-    parser.add_argument(
-        "--baseline",
-        metavar="PATH",
-        default=DEFAULT_BASELINE,
-        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
-    )
-    parser.add_argument(
-        "--no-baseline",
-        action="store_true",
-        help="ignore the baseline file: report every finding",
-    )
-    parser.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="write all current findings to the baseline file and exit 0",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="list the rules and exit"
-    )
-    parser.add_argument(
-        "--root",
-        metavar="DIR",
-        default=None,
-        help="directory paths are reported relative to (default: cwd)",
-    )
+    add_front_args(parser, DEFAULT_BASELINE, select=False, verb="verify")
     parser.add_argument(
         "--skip-model",
         action="store_true",
@@ -179,34 +149,24 @@ def render_report(
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule_id, name, summary in _all_rule_rows():
-            print(f"{rule_id}  {name:24s} {summary}")
+        print_rule_rows(_all_rule_rows())
         return 0
-    root = Path(args.root).resolve() if args.root else Path.cwd()
-    paths = [Path(p) for p in args.paths]
+    front = parse_front(args)
     taus = tuple(args.tau) if args.tau else (3, 5)
-    baseline_path = (
-        Path(args.baseline)
-        if Path(args.baseline).is_absolute()
-        else root / args.baseline
-    )
 
     findings, contract, model_report = run_verify(
-        paths, root, taus=taus, max_n=args.max_n, skip_model=args.skip_model
+        front.paths,
+        front.root,
+        taus=taus,
+        max_n=args.max_n,
+        skip_model=args.skip_model,
     )
 
     if args.update_baseline:
-        baseline = Baseline(f.fingerprint() for f in findings)
-        baseline.save(baseline_path)
-        print(f"baseline: {len(baseline)} findings -> {baseline_path}")
-        return 0
+        return write_baseline(findings, front.baseline_path)
 
-    baseline = None if args.no_baseline else Baseline.load(baseline_path)
-    if baseline is None:
-        fresh, parked = findings, []
-    else:
-        fresh = [f for f in findings if f not in baseline]
-        parked = [f for f in findings if f in baseline]
+    baseline = None if args.no_baseline else Baseline.load(front.baseline_path)
+    fresh, parked = split_baseline(findings, baseline)
 
     if args.json:
         print(render_report(fresh, contract, model_report))
@@ -226,10 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{model_report.flood_cases} flood cases, "
                 f"{model_report.interleavings_explored} interleavings"
             )
-        summary = f"repro-verify: {len(fresh)} finding(s)"
-        if parked:
-            summary += f" ({len(parked)} baselined)"
-        print(summary)
+        print_summary("repro-verify", fresh, parked)
     return 1 if fresh else 0
 
 

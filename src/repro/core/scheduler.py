@@ -37,7 +37,6 @@ from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.criterion import VertexCycle, is_tau_partitionable
-from repro.core.vpt import deletion_radius
 from repro.cycles.batch import batch_verdicts_enabled
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import current_metrics, current_tracer
@@ -46,7 +45,7 @@ from repro.parallel.runner import (
     fanout_worthwhile,
     resolve_workers,
 )
-from repro.topology import LocalTopologyEngine, TopologyCounters
+from repro.topology import LocalTopologyEngine, TopologyCounters, mis_separation
 from repro.topology.mis import WaveMIS
 
 
@@ -226,7 +225,7 @@ def _dcc_schedule_rounds(
 ) -> ScheduleResult:
     removed: List[int] = []
     deletions_per_round: List[int] = []
-    separation = deletion_radius(tau) + 1
+    separation = mis_separation(tau)
     counters_before = engine.counters.as_dict() if metrics is not None else None
     use_batch = (
         mode == "parallel"

@@ -60,6 +60,12 @@ try:  # pragma: no cover - exercised by the import-time environment
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
+#: Largest tau the packed path accepts.  The elimination pipeline packs
+#: one adjacency word per member, which is sound only while the verdict
+#: reduces to the tau<=4 quad/triangle chord structure; larger confine
+#: sizes take the scalar kernel.  repro-bounds (REPRO406) pins the
+#: bypass guard to this name.
+PACKED_TAU_MAX = 4
 #: Largest candidate (member count) the packed path accepts; one uint64
 #: adjacency word per member.
 BATCH_MAX_MEMBERS = 64
@@ -362,7 +368,7 @@ def span_verdict_batch(
         raise ValueError("tau must be at least 3 (the shortest cycle)")
     verdicts: List[Optional[bool]] = [None] * len(member_lists)
     packed: List[int] = []
-    if np is not None and tau <= 4:
+    if np is not None and tau <= PACKED_TAU_MAX:
         for idx, members in enumerate(member_lists):
             count = len(members)
             if count == 0:

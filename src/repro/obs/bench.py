@@ -38,7 +38,7 @@ import sys
 import time
 import timeit
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro import knobs
 from repro.obs.export import merge_json_entry
@@ -92,7 +92,7 @@ _TAU = 4
 _TARGET_DEGREE = 9.0
 
 
-def _deployment(nodes: int):
+def _deployment(nodes: int) -> Tuple[Any, Set[int]]:
     """The ``benchmarks/test_shard_scale.py`` deployment recipe."""
     from repro.network.topologies import geometric_graph
 

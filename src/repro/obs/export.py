@@ -119,7 +119,7 @@ def read_trace_jsonl(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
 def build_run_report(
     name: str,
     tracer: Tracer,
-    metrics=None,
+    metrics: Optional[Any] = None,
     meta: Optional[Dict[str, Any]] = None,
     attribution: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -157,7 +157,7 @@ def load_run_report(path: str) -> Dict[str, Any]:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
-def merge_json_entry(path, name: str, entry: Dict[str, Any]) -> None:
+def merge_json_entry(path: str | Path, name: str, entry: Dict[str, Any]) -> None:
     """Merge ``entry`` under ``name`` in a shared JSON file.
 
     The ``BENCH_kernel.json`` convention: entries merge by name, so

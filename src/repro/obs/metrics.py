@@ -134,7 +134,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
-    def _get(self, name: str, cls, **kwargs: Any):
+    def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(**kwargs)
@@ -174,7 +174,7 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[Any]:
         return self._metrics.get(name)
 
     def items(self) -> Iterator[Tuple[str, Any]]:
@@ -183,13 +183,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Absorption of the pre-existing accounting objects
     # ------------------------------------------------------------------
-    def absorb_topology(self, counters, prefix: str = "topology.") -> None:
+    def absorb_topology(self, counters: Any, prefix: str = "topology.") -> None:
         """Fold a :class:`TopologyCounters` delta into prefixed counters."""
         for name, value in counters.as_dict().items():
             if value:
                 self.inc(prefix + name, value)
 
-    def absorb_runtime(self, stats, prefix: str = "runtime.") -> None:
+    def absorb_runtime(self, stats: Any, prefix: str = "runtime.") -> None:
         """Fold a :class:`RuntimeStats` delta into prefixed counters.
 
         The embedded topology counters land under ``topology.`` so the

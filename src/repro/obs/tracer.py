@@ -347,12 +347,12 @@ _CURRENT_TRACER: Any = NULL_TRACER
 _CURRENT_METRICS: Any = None
 
 
-def current_tracer():
+def current_tracer() -> Any:
     """The ambient tracer (the null tracer unless :func:`observe` is active)."""
     return _CURRENT_TRACER
 
 
-def current_metrics():
+def current_metrics() -> Any:
     """The ambient metrics registry, or ``None``."""
     return _CURRENT_METRICS
 
@@ -392,7 +392,7 @@ class _Observation:
         _CURRENT_TRACER, _CURRENT_METRICS = self._prev
 
 
-def observe(tracer=None, metrics=None) -> _Observation:
+def observe(tracer: Any = None, metrics: Any = None) -> _Observation:
     """Install ``tracer``/``metrics`` as the ambient observers.
 
     ::

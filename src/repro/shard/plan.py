@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.network.graph import NetworkGraph
-from repro.topology import neighborhood_radius
+from repro.topology import halo_radius
 
 
 @dataclass(frozen=True)
@@ -131,6 +131,10 @@ def _farthest_seeds(
     rng = random.Random(seed)
     seeds = [vertices[rng.randrange(len(vertices))]]
     while len(seeds) < count:
+        # Coordinator-side farthest-point seeding is a whole-graph
+        # planning sweep, not a verdict ball; the unbounded BFS is
+        # intentional and runs once per plan.
+        # repro: allow[radius-unproven]
         dist = _multi_source_distances(graph, seeds, cutoff=None)
         best: Optional[int] = None
         best_dist = -1
@@ -187,7 +191,7 @@ def build_shard_plan(
     vertices = sorted(graph.vertices())
     if not vertices:
         raise ValueError("cannot shard an empty graph")
-    k = neighborhood_radius(tau)
+    k = halo_radius(tau)
     shards = min(shards, len(vertices))
 
     # Seed inside the largest component only: under "unreachable wins"

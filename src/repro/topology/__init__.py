@@ -14,8 +14,14 @@ from repro.topology.counters import TopologyCounters
 from repro.topology.engine import (
     LocalTopologyEngine,
     OwnedRegionError,
-    neighborhood_radius,
     punctured_deletable,
+)
+from repro.topology.radii import (
+    flood_ttl,
+    halo_radius,
+    mis_separation,
+    neighborhood_radius,
+    stage_cutoff,
 )
 from repro.topology.signature import SpanMemo, SubgraphSignature, graph_signature
 
@@ -25,7 +31,11 @@ __all__ = [
     "SpanMemo",
     "SubgraphSignature",
     "TopologyCounters",
+    "flood_ttl",
     "graph_signature",
+    "halo_radius",
+    "mis_separation",
     "neighborhood_radius",
     "punctured_deletable",
+    "stage_cutoff",
 ]

@@ -35,7 +35,6 @@ stay correct even then.
 
 from __future__ import annotations
 
-import math
 from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -45,6 +44,7 @@ from repro.cycles.horton import ShortCycleSpan
 from repro.network.graph import NetworkGraph
 from repro.obs.tracer import NULL_TRACER
 from repro.topology.counters import TopologyCounters
+from repro.topology.radii import neighborhood_radius
 from repro.topology.signature import SpanMemo
 
 BallKey = Tuple[int, int]  # (center, radius)
@@ -60,13 +60,6 @@ class OwnedRegionError(RuntimeError):
     guaranteed to contain that vertex's full k-ball, so it must come from
     the owner via the halo exchange instead.
     """
-
-
-def neighborhood_radius(tau: int) -> int:
-    """Definition 5's ``k = ceil(tau / 2)``."""
-    if tau < 3:
-        raise ValueError("confine size must be at least 3")
-    return math.ceil(tau / 2)
 
 
 class LocalTopologyEngine:

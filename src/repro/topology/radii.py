@@ -1,0 +1,111 @@
+"""Named radius derivations — the single home for the paper's bounds.
+
+Every locality argument in the paper reduces to one constant: the
+neighbourhood radius ``k = ceil(tau / 2)`` of Definition 5.  Everything
+else — the deletion radius, the MIS separation, flood TTL budgets, the
+shard halo band, the Horton stage-3 cutoff — is a one-step derivation
+from ``k``.  The seed code spelled several of these as inline arithmetic
+(``(tau + 1) // 2``, ``k + 1``, ``m - 1``); this module names each
+derivation once so the static bounds front (``repro-bounds``,
+``src/repro/checks/bounds.py``) can recognise call sites symbolically
+instead of pattern-matching magic literals.
+
+Layering: this module must stay a *leaf* (stdlib ``math`` only) so any
+layer — ``core``, ``shard``, ``runtime``, ``checks`` — can import it
+without cycles.  In particular it must never import ``repro.cycles`` or
+``repro.topology.engine``.
+
+Symbol glossary used by ``repro-bounds`` and DESIGN.md section 14:
+
+========  =====================================  ======================
+symbol    meaning                                derivation
+========  =====================================  ======================
+``tau``   confine size (max hole boundary)       input, ``tau >= 3``
+``k``     neighbourhood / deletion radius        ``ceil(tau / 2)``
+``m``     MIS separation                         ``k + 1``
+========  =====================================  ======================
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "neighborhood_radius",
+    "deletion_radius",
+    "mis_separation",
+    "halo_radius",
+    "flood_ttl",
+    "stage_cutoff",
+]
+
+
+def neighborhood_radius(tau: int) -> int:
+    """Definition 5's ``k = ceil(tau / 2)``."""
+    if tau < 3:
+        raise ValueError("confine size must be at least 3")
+    return math.ceil(tau / 2)
+
+
+def deletion_radius(tau: int) -> int:
+    """The deletability verdict's ball radius.
+
+    Theorem 4 evaluates deletability on the punctured ``k``-hop
+    neighbourhood; the deletion radius *is* the neighbourhood radius.
+    (``repro.core.vpt.deletion_radius`` re-exports this for the public
+    API; keep both names so call sites read as the theorem they cite.)
+    """
+    return neighborhood_radius(tau)
+
+
+def mis_separation(tau: int) -> int:
+    """Hop separation ``m = k + 1`` between concurrently deleted nodes.
+
+    Two vertices at hop distance ``>= k + 1`` have disjoint punctured
+    ``k``-balls *after either deletion*, so their verdicts commute and
+    the scheduler may delete a whole ``m``-separated MIS per round.
+    """
+    return deletion_radius(tau) + 1
+
+
+def halo_radius(tau: int) -> int:
+    """The shard halo band radius — exactly ``k`` hops past owned rows.
+
+    A shard must answer deletability for every owned vertex, which reads
+    the punctured ``k``-ball; a band of exactly
+    ``k = neighborhood_radius(tau)`` foreign hops is therefore both
+    sufficient and minimal (a thinner band truncates some owned ball, a
+    thicker one ships rows no verdict reads).
+    """
+    return neighborhood_radius(tau)
+
+
+def flood_ttl(radius: int) -> int:
+    """Initial TTL for a flood that must cover a ``radius``-hop ball.
+
+    The origin's broadcast already travels one hop, so covering a
+    ``radius``-hop ball needs ``radius - 1`` further relays: TTL starts
+    at ``radius - 1`` and each relay decrements.  The runtime spells the
+    two instances as ``self.k - 1`` (DELETE) and ``m - 1`` (PRIORITY) so
+    ``repro-verify``'s FloodSpec extraction can read the radius symbol
+    straight off the initializer; this derivation is the named form the
+    bounds front proves those initializers against.
+    """
+    if radius < 1:
+        raise ValueError("flood radius must be at least 1")
+    return radius - 1
+
+
+def stage_cutoff(tau: int) -> int:
+    """Horton stage-3 BFS depth ``floor(tau / 2)``.
+
+    Candidate cycles through a vertex ``v`` with length ``<= tau`` stay
+    within ``floor(tau / 2)`` hops of ``v``, which is ``<= k`` — the
+    kernel's stage-3 traversal never escapes the certified ball.  (The
+    kernel keeps the literal ``tau // 2`` inline because ``repro.cycles``
+    must not import ``repro.topology``; ``repro-bounds`` checks that
+    literal against this derivation instead.)
+    """
+    if tau < 3:
+        raise ValueError("confine size must be at least 3")
+    return tau // 2

@@ -1,0 +1,161 @@
+"""End-to-end envelope cross-check: smoke runs against the static manifest.
+
+The CI gate's contract, exercised directly: a real sharded + distributed
+smoke stays inside every statically certified envelope, a poisoned
+manifest (a bound tightened below the measured value) fails with a diff
+that names the meter, the measured value and the bound, the cross-check
+is a pure observer (sanitized run-reports are byte-identical with it on
+or off), and the CLI surfaces it all through exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import _prepare_network
+from repro.checks.bounds import run_bounds
+from repro.checks.bounds_cli import main as bounds_main
+from repro.core.scheduler import dcc_schedule
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_run_report,
+    check_envelope,
+    max_bfs_depth_from_tracer,
+    measured_from_runtime_stats,
+    measured_from_shard_stats,
+    shape_params_from_graph,
+    strip_volatile,
+)
+from repro.runtime.protocol import distributed_dcc_schedule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+TAU = 5
+NODES = 40
+DEGREE = 8.0
+
+
+def _smoke_measurements():
+    """One sharded + one distributed smoke, as (manifest, measured, params)."""
+    __, manifest = run_bounds([SRC / "repro"], REPO_ROOT)
+    manifest = manifest.as_dict()
+    network, __, protected = _prepare_network(NODES, DEGREE, seed=0)
+    params = shape_params_from_graph(network.graph, TAU)
+    tracer = Tracer()
+    result = dcc_schedule(
+        network.graph, protected, TAU, seed=0, shards=2, workers=1,
+        tracer=tracer,
+    )
+    measured = {}
+    stats = result.shard_stats
+    assert stats is not None
+    measured.update(measured_from_shard_stats(stats))
+    params["shards"] = stats.shard_count
+    params["halo_members"] = sum(stats.halo_sizes)
+    params["subrounds"] = max(stats.subrounds_per_round, default=0)
+    depth = max_bfs_depth_from_tracer(tracer)
+    if depth is not None:
+        measured["bfs.max_depth"] = depth
+    dist = distributed_dcc_schedule(network.graph, protected, TAU, seed=0)
+    measured.update(measured_from_runtime_stats(dist.stats))
+    params["rounds"] = max(result.rounds, dist.iterations)
+    params["deletions"] = len(dist.removed)
+    return manifest, measured, params
+
+
+class TestEnvelopeCrossCheck:
+    def test_smoke_run_inside_every_envelope(self):
+        manifest, measured, params = _smoke_measurements()
+        report = check_envelope(manifest, measured, params)
+        assert report.ok, report.format_diff()
+        # The smoke must actually exercise the contract, not vacuously
+        # pass on an empty meter set.
+        meters = {row.meter for row in report.rows}
+        assert "halo.rows_per_round" in meters
+        assert "messages.priority.sent" in meters
+        assert all(row.margin >= 0 for row in report.rows)
+
+    def test_poisoned_manifest_fails_with_readable_diff(self):
+        manifest, measured, params = _smoke_measurements()
+        poisoned = json.loads(json.dumps(manifest))
+        # Tighten the halo row bound below anything a real round ships.
+        poisoned["envelopes"]["halo.rows_per_round"] = "0"
+        report = check_envelope(poisoned, measured, params)
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation.meter == "halo.rows_per_round"
+        diff = report.format_diff()
+        assert "FAIL halo.rows_per_round" in diff
+        assert f"measured={violation.measured}" in diff
+        assert "bound=0" in diff
+        assert "envelope violated: halo.rows_per_round" in diff
+
+    def test_cross_check_is_a_pure_observer(self):
+        """Sanitized run-reports are byte-identical with the envelope
+        check on vs off: measuring the meters never perturbs the run."""
+
+        def observed_run():
+            tracer, metrics = Tracer(), MetricsRegistry()
+            network, __, protected = _prepare_network(NODES, DEGREE, seed=0)
+            dcc_schedule(
+                network.graph, protected, TAU, seed=0, shards=2, workers=1,
+                tracer=tracer, metrics=metrics,
+            )
+            return build_run_report("fig2-smoke", tracer, metrics)
+
+        plain = strip_volatile(observed_run())
+
+        manifest, measured, params = _smoke_measurements()
+        check_envelope(manifest, measured, params)  # the "on" arm
+        checked = strip_volatile(observed_run())
+
+        assert json.dumps(checked, sort_keys=True) == json.dumps(
+            plain, sort_keys=True
+        )
+
+
+class TestCrossCheckCLI:
+    def test_exit_zero_and_margins_artifact(self, tmp_path, capsys):
+        margins = tmp_path / "margins.json"
+        code = bounds_main(
+            [
+                str(SRC / "repro"),
+                "--root", str(REPO_ROOT),
+                "--cross-check",
+                "--nodes", str(NODES),
+                "--degree", str(int(DEGREE)),
+                "--tau", str(TAU),
+                "--margins-out", str(margins),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "repro-bounds: cross-check ok" in out
+        payload = json.loads(margins.read_text())
+        assert payload["ok"] is True
+        assert payload["rows"]
+        assert all(row["margin"] >= 0 for row in payload["rows"])
+
+    def test_exit_one_on_poisoned_manifest(self, tmp_path, capsys):
+        __, manifest = run_bounds([SRC / "repro"], REPO_ROOT)
+        poisoned = manifest.as_dict()
+        poisoned["envelopes"]["bfs.max_depth"] = "0"
+        manifest_path = tmp_path / "poisoned.json"
+        manifest_path.write_text(json.dumps(poisoned))
+        code = bounds_main(
+            [
+                "--root", str(REPO_ROOT),
+                "--cross-check",
+                "--manifest-in", str(manifest_path),
+                "--nodes", str(NODES),
+                "--degree", str(int(DEGREE)),
+                "--tau", str(TAU),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL bfs.max_depth" in out
+        assert "violation" in out

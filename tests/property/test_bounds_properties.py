@@ -1,0 +1,135 @@
+"""Property-based tests: the static envelopes hold on random runs.
+
+The repro-bounds contract is that its statically certified bounds are
+*sound*: no concrete execution, on any graph, may push a measured meter
+past its envelope.  Hypothesis drives random deployments through both
+the sharded scheduler and the distributed protocol and asserts the
+measured meters stay inside the same manifest the CI gate checks, and
+that the bound-expression evaluator agrees with plain Python arithmetic.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks.bounds import run_bounds
+from repro.core.scheduler import dcc_schedule
+from repro.network.graph import NetworkGraph
+from repro.obs.envelope import (
+    check_envelope,
+    eval_bound,
+    max_bfs_depth_from_tracer,
+    measured_from_runtime_stats,
+    measured_from_shard_stats,
+    moore_ball_bound,
+    shape_params_from_graph,
+)
+from repro.obs.tracer import Tracer
+from repro.runtime.protocol import distributed_dcc_schedule
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+# One static pass for the whole module: the manifest is a function of
+# the source tree alone, not of the runs checked against it.
+_MANIFEST = run_bounds([SRC / "repro"], REPO_ROOT)[1].as_dict()
+
+
+def _random_graph(seed: int, nodes: int, density: float) -> NetworkGraph:
+    rng = random.Random(seed)
+    graph = NetworkGraph(range(nodes))
+    for u in range(nodes):
+        for v in range(u + 1, nodes):
+            if rng.random() < density:
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def random_graphs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    nodes = draw(st.integers(min_value=8, max_value=20))
+    density = draw(st.sampled_from((0.2, 0.3, 0.45)))
+    return _random_graph(seed, nodes, density)
+
+
+class TestEnvelopesAreSound:
+    @given(
+        random_graphs(),
+        st.integers(min_value=3, max_value=6),
+        st.sampled_from((2, 3)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_run_stays_inside_envelopes(self, graph, tau, shards):
+        protected = set(sorted(graph.vertices())[:3])
+        tracer = Tracer()
+        result = dcc_schedule(
+            graph.copy(),
+            protected,
+            tau,
+            seed=0,
+            shards=shards,
+            workers=1,
+            tracer=tracer,
+        )
+        params = shape_params_from_graph(graph, tau)
+        params["rounds"] = max(result.rounds, 1)
+        measured = {}
+        stats = result.shard_stats
+        if stats is not None:
+            measured.update(measured_from_shard_stats(stats))
+            params["shards"] = stats.shard_count
+            params["halo_members"] = sum(stats.halo_sizes)
+            params["subrounds"] = max(stats.subrounds_per_round, default=0)
+        depth = max_bfs_depth_from_tracer(tracer)
+        if depth is not None:
+            measured["bfs.max_depth"] = depth
+        report = check_envelope(_MANIFEST, measured, params)
+        assert report.ok, report.format_diff()
+
+    @given(
+        random_graphs(),
+        st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_run_stays_inside_envelopes(self, graph, tau):
+        protected = set(sorted(graph.vertices())[:3])
+        result = distributed_dcc_schedule(graph.copy(), protected, tau, seed=0)
+        params = shape_params_from_graph(graph, tau)
+        params["rounds"] = max(result.iterations, 1)
+        params["deletions"] = len(result.removed)
+        measured = measured_from_runtime_stats(result.stats)
+        report = check_envelope(_MANIFEST, measured, params)
+        assert report.ok, report.format_diff()
+
+
+class TestEvaluatorConsistency:
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_eval_bound_matches_python(self, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert eval_bound("a + b * c", env) == a + b * c
+        assert eval_bound("(a + b) // c", env) == (a + b) // c
+        assert eval_bound("min(a, b) + max(b, c)", env) == min(a, b) + max(b, c)
+        assert eval_bound("a - b - c", env) == a - b - c
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_moore_bound_dominates_real_balls(self, seed, delta_cap, radius):
+        graph = _random_graph(seed, 14, 0.3)
+        n = len(list(graph.vertices()))
+        delta = max((graph.degree(v) for v in graph.vertices()), default=0)
+        for v in graph.vertices():
+            ball = graph.bfs_distances(v, cutoff=radius)
+            assert len(ball) <= moore_ball_bound(n, delta, radius)

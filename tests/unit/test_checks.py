@@ -869,3 +869,50 @@ class TestTraceGuard:
         ]
         findings, _ = lint_paths(hot, [TraceGuardRule()], root=root)
         assert findings == []
+
+
+class TestReproCheckUmbrella:
+    """The repro-check entry point: all fronts, one exit code."""
+
+    ROOT = Path(__file__).resolve().parents[2]
+
+    def test_unknown_front_exits_two(self, capsys):
+        from repro.checks.runner import main as check_main
+
+        assert check_main(["--fronts", "lint,nonsense"]) == 2
+        assert "unknown fronts: nonsense" in capsys.readouterr().err
+
+    def test_front_subset_runs_only_those(self, capsys):
+        from repro.checks.runner import main as check_main
+
+        code = check_main(
+            [str(self.ROOT / "src"), "--root", str(self.ROOT),
+             "--fronts", "lint,race"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== repro-lint ==" in out
+        assert "== repro-race ==" in out
+        assert "== repro-verify ==" not in out
+        assert "== repro-bounds ==" not in out
+
+    def test_exit_code_is_worst_front(self, tmp_path, capsys):
+        from repro.checks.runner import main as check_main
+
+        # A tree that is lint-clean but bounds-dirty: the umbrella must
+        # surface the failing front's code.
+        fixture = tmp_path / "repro" / "topology" / "fix.py"
+        fixture.parent.mkdir(parents=True)
+        fixture.write_text(
+            "def f(g, v):\n    return g.bfs_distances(v, cutoff=9)\n"
+        )
+        code = check_main(
+            [str(tmp_path), "--root", str(tmp_path),
+             "--fronts", "lint,bounds"]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_shared_select_rejects_unknown_rules(self, capsys):
+        assert lint_main(["--select", "REPRO999"]) == 2
+        assert "unknown rules" in capsys.readouterr().err

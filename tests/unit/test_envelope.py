@@ -1,0 +1,192 @@
+"""Unit tests for the runtime envelope cross-check (repro.obs.envelope)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.envelope import (
+    MANIFEST_SCHEMA,
+    EnvelopeReport,
+    EnvelopeRow,
+    check_envelope,
+    envelope_params,
+    eval_bound,
+    margins_entry,
+    max_bfs_depth_from_tracer,
+    measured_from_runtime_stats,
+    moore_ball_bound,
+)
+from repro.obs.export import SchemaError
+from repro.obs.tracer import Tracer
+from repro.runtime.stats import RuntimeStats
+
+
+def manifest(**envelopes: str) -> dict:
+    return {"format": MANIFEST_SCHEMA, "envelopes": envelopes}
+
+
+# ----------------------------------------------------------------------
+# The bound-expression grammar
+# ----------------------------------------------------------------------
+class TestEvalBound:
+    def test_arithmetic(self):
+        env = {"n": 10, "k": 3}
+        assert eval_bound("3 * n + k", env) == 33
+        assert eval_bound("n // k - 1", env) == 2
+        assert eval_bound("min(n, k + 8)", env) == 10
+        assert eval_bound("max(n, k)", env) == 10
+        assert eval_bound("-k + n", env) == 7
+
+    def test_unknown_parameter_names_scope(self):
+        with pytest.raises(SchemaError) as err:
+            eval_bound("rounds * n", {"n": 5, "k": 2})
+        message = str(err.value)
+        assert "rounds" in message
+        assert "in scope: k, n" in message
+
+    def test_rejects_out_of_grammar_nodes(self):
+        for expr in ("n ** 2", "n / 2", "1.5 * n", "__import__('os')", "n if k else 0"):
+            with pytest.raises(SchemaError):
+                eval_bound(expr, {"n": 4, "k": 1})
+
+    def test_rejects_division_by_zero(self):
+        with pytest.raises(SchemaError):
+            eval_bound("n // 0", {"n": 4})
+
+
+class TestMooreBound:
+    def test_small_radius_is_exact(self):
+        # degree-3 tree, radius 2: 1 + 3 + 3*2 = 10
+        assert moore_ball_bound(100, 3, 2) == 10
+
+    def test_clamped_by_n(self):
+        assert moore_ball_bound(5, 10, 3) == 5
+
+    def test_degenerate_degrees(self):
+        assert moore_ball_bound(9, 0, 4) == 1
+        assert moore_ball_bound(9, 1, 4) == 2
+        assert moore_ball_bound(9, 2, 3) == 7  # path: 1 + 2*3
+
+    def test_radius_zero_is_singleton(self):
+        assert moore_ball_bound(9, 5, 0) == 1
+
+    def test_envelope_params_derive_balls(self):
+        env = envelope_params({"n": 100, "delta": 3, "k": 2, "m": 3})
+        assert env["ball_k"] == moore_ball_bound(100, 3, 2)
+        assert env["ball_m"] == moore_ball_bound(100, 3, 3)
+
+
+# ----------------------------------------------------------------------
+# check_envelope
+# ----------------------------------------------------------------------
+class TestCheckEnvelope:
+    def test_inside_envelope_passes(self):
+        report = check_envelope(
+            manifest(**{"halo.rows_per_round": "3 * halo_members"}),
+            {"halo.rows_per_round": 20},
+            {"halo_members": 7},
+        )
+        assert report.ok
+        (row,) = report.rows
+        assert row.bound_value == 21
+        assert row.margin == 1
+
+    def test_violation_fails_with_negative_margin(self):
+        report = check_envelope(
+            manifest(**{"bfs.max_depth": "k"}),
+            {"bfs.max_depth": 4},
+            {"k": 3},
+        )
+        assert not report.ok
+        (row,) = report.violations
+        assert row.margin == -1
+
+    def test_unmeasured_and_uncovered_are_reported_not_fatal(self):
+        report = check_envelope(
+            manifest(**{"bfs.max_depth": "k"}),
+            {"surprise.meter": 1},
+            {"k": 3},
+        )
+        assert report.ok
+        assert report.unmeasured == ["bfs.max_depth"]
+        assert report.uncovered == ["surprise.meter"]
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            check_envelope({"format": "something/v9", "envelopes": {}}, {}, {})
+
+    def test_malformed_envelope_entry_rejected(self):
+        with pytest.raises(SchemaError):
+            check_envelope(
+                {"format": MANIFEST_SCHEMA, "envelopes": {"x": 7}}, {}, {}
+            )
+
+    def test_dict_entry_with_bound_key_accepted(self):
+        report = check_envelope(
+            {
+                "format": MANIFEST_SCHEMA,
+                "envelopes": {"x": {"bound": "n", "note": "whatever"}},
+            },
+            {"x": 2},
+            {"n": 3},
+        )
+        assert report.ok
+
+
+class TestFormatDiff:
+    def test_readable_failure_names_the_meter(self):
+        report = check_envelope(
+            manifest(
+                **{
+                    "bfs.max_depth": "k",
+                    "halo.rows_per_round": "3 * halo_members",
+                }
+            ),
+            {"bfs.max_depth": 9, "halo.rows_per_round": 5},
+            {"k": 3, "halo_members": 7},
+        )
+        text = report.format_diff()
+        assert "FAIL bfs.max_depth" in text
+        assert "measured=9" in text and "bound=3" in text
+        assert "ok   halo.rows_per_round" in text
+        assert "envelope violated: bfs.max_depth" in text
+
+    def test_pass_output_has_no_violation_banner(self):
+        report = EnvelopeReport(
+            rows=[EnvelopeRow("m", 1, "n", 2, True)], params={"n": 2}
+        )
+        assert "envelope violated" not in report.format_diff()
+
+    def test_margins_entry_round_trips(self):
+        report = EnvelopeReport(rows=[EnvelopeRow("m", 1, "n", 2, True)])
+        label, payload = margins_entry(report, "fig2-smoke")
+        assert label == "fig2-smoke"
+        assert payload["ok"] is True
+        assert payload["rows"][0]["margin"] == 1
+
+
+# ----------------------------------------------------------------------
+# Measured-meter helpers
+# ----------------------------------------------------------------------
+class TestMeasuredHelpers:
+    def test_runtime_stats_meters(self):
+        stats = RuntimeStats()
+        stats.record_send("priority", deliveries=2, count=3)
+        stats.record_send("delete", deliveries=1)
+        assert measured_from_runtime_stats(stats) == {
+            "messages.delete.sent": 1,
+            "messages.priority.sent": 3,
+        }
+
+    def test_max_bfs_depth_from_tracer(self):
+        tracer = Tracer()
+        with tracer.trace("kernel.ball_bfs", radius=2):
+            pass
+        with tracer.trace("kernel.ball_bfs", radius=3):
+            pass
+        with tracer.trace("other.span", radius=99):
+            pass
+        assert max_bfs_depth_from_tracer(tracer) == 3
+
+    def test_max_bfs_depth_none_when_unobserved(self):
+        assert max_bfs_depth_from_tracer(Tracer()) is None
